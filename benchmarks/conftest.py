@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper artifact (figure or table),
+prints the reproduced rows/series next to the paper's reference
+observations, and asserts the qualitative *shape* the paper reports
+(who wins, by roughly what factor, where crossovers fall).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive figure/table driver exactly once under timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,42 @@
+"""Ablation — the pin-down cache ([Tezuka et al. 98], §3.5).
+
+With the cache disabled, every rendezvous message pays the full
+registration + deregistration cost even at 100% buffer reuse — showing
+how much of Figs. 7-8's 100%-reuse performance the cache provides.
+"""
+
+from repro.microbench.bandwidth import stream_fn
+from repro.microbench.latency import pingpong_fn
+from repro.mpi.world import MPIWorld
+
+
+def _lat(nbytes, opts):
+    world = MPIWorld(2, network="infiniband", record=False, mpi_options=opts)
+    return world.run(pingpong_fn, args=(nbytes, 20, 4)).returns[0]
+
+
+def _bw(nbytes, opts):
+    world = MPIWorld(2, network="infiniband", record=False, mpi_options=opts)
+    return world.run(stream_fn, args=(nbytes, 16, 8, 2)).returns[0]
+
+
+def test_ablation_pin_down_cache(once, benchmark):
+    def run():
+        return {
+            "lat64k_cached": _lat(65536, {}),
+            "lat64k_nocache": _lat(65536, {"pin_down_cache": False}),
+            "bw64k_cached": _bw(65536, {}),
+            "bw64k_nocache": _bw(65536, {"pin_down_cache": False}),
+            "lat64_cached": _lat(64, {}),
+            "lat64_nocache": _lat(64, {"pin_down_cache": False}),
+        }
+
+    t = once(benchmark, run)
+    print("\nPin-down-cache ablation (IB, 100% buffer reuse):")
+    for k, v in t.items():
+        print(f"  {k:>16}: {v:8.1f}")
+    # rendezvous traffic suffers badly without the cache...
+    assert t["lat64k_nocache"] > t["lat64k_cached"] + 50.0
+    assert t["bw64k_nocache"] < 0.75 * t["bw64k_cached"]
+    # ...but eager traffic (pre-registered ring) is untouched
+    assert abs(t["lat64_nocache"] - t["lat64_cached"]) < 0.01

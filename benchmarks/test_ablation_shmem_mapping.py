@@ -1,0 +1,68 @@
+"""Ablations — the shared-memory device and process placement (§3.6, §4.6).
+
+1. Disabling MVAPICH's shared-memory channel makes its intra-node
+   behaviour Quadrics-like (NIC loopback) — quantifying what the shmem
+   device buys.
+2. Block vs cyclic placement changes which application neighbours are
+   intra-node (the paper notes results depend on the mapping).
+"""
+
+from repro.apps import run_app
+from repro.microbench.latency import pingpong_fn
+from repro.mpi.world import MPIWorld
+from repro.profiling import intranode_stats
+
+
+def _intra_lat(opts):
+    world = MPIWorld(2, network="infiniband", ppn=2, record=False,
+                     mpi_options=opts)
+    return world.run(pingpong_fn, args=(64, 20, 4)).returns[0]
+
+
+def test_ablation_shmem_device(once, benchmark):
+    def run():
+        return {
+            "shmem": _intra_lat({}),
+            "loopback": _intra_lat({"use_shmem": False}),
+        }
+
+    t = once(benchmark, run)
+    print("\nShared-memory-device ablation (IB intra-node 64 B latency, us):")
+    for k, v in t.items():
+        print(f"  {k:>9}: {v:6.2f}")
+    # without shmem, intra-node costs NIC + two bus crossings
+    assert t["loopback"] > 2.0 * t["shmem"]
+
+
+def test_ablation_block_vs_cyclic_mapping(once, benchmark):
+    def run():
+        out = {}
+        for mapping in ("block", "cyclic"):
+            from repro.mpi.world import MPIWorld as W
+            # LU's wavefront neighbours are rank +-1 ranges: block keeps
+            # many of them on-node, cyclic pushes them all off-node
+            from repro.apps.runner import APP_REGISTRY
+            from repro.apps.classes import get_problem
+            cfg = get_problem("lu", "S")
+            benches = {r: APP_REGISTRY["lu"](cfg, 8, verify=False) for r in range(8)}
+
+            def fn(comm):
+                b = benches[comm.rank]
+                yield from b.setup(comm)
+                for it in range(3):
+                    yield from b.iteration(comm, it)
+
+            # 8 ranks on 4 dual-CPU nodes: block pairs j-neighbours on a
+            # node, cyclic separates every wavefront neighbour
+            w = W(8, network="infiniband", ppn=2, mapping=mapping)
+            res = w.run(fn)
+            st = intranode_stats(res.recorder)
+            out[mapping] = (res.elapsed_us, st["pct_calls"])
+        return out
+
+    t = once(benchmark, run)
+    print("\nMapping ablation (LU.S, 8 ranks on 4 nodes):")
+    for k, (us, pct) in t.items():
+        print(f"  {k:>7}: {us:9.1f} us   intra-node pt2pt {pct:5.1f}%")
+    # block keeps wavefront neighbours on-node; cyclic pushes them off
+    assert t["block"][1] > t["cyclic"][1] + 10.0

@@ -1,0 +1,18 @@
+"""Fig. 1 — MPI latency across the three interconnects."""
+
+from repro.experiments import run_figure
+
+
+def test_fig01_latency(once, benchmark):
+    fig = once(benchmark, run_figure, "fig1")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    # paper: QSN 4.6 < Myri 6.7 ~ IBA 6.8 us for small messages
+    assert by["QSN"].at(4) < by["Myri"].at(4)
+    assert by["QSN"].at(4) < by["IBA"].at(4)
+    assert 3.5 < by["QSN"].at(4) < 6.0
+    assert 5.5 < by["IBA"].at(4) < 8.0
+    assert 5.5 < by["Myri"].at(4) < 8.5
+    # paper: IBA has a clear advantage at large sizes (higher bandwidth)
+    assert by["IBA"].at(16384) < by["QSN"].at(16384)
+    assert by["IBA"].at(16384) < by["Myri"].at(16384)

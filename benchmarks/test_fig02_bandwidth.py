@@ -1,0 +1,19 @@
+"""Fig. 2 — uni-directional bandwidth with window sizes 4 and 16."""
+
+from repro.experiments import run_figure
+
+
+def test_fig02_bandwidth(once, benchmark):
+    fig = once(benchmark, run_figure, "fig2")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    M = 1048576
+    # paper peaks: IBA 841, QSN 308, Myri 235 MB/s
+    assert 780 <= by["IBA 16"].at(M) <= 900
+    assert 280 <= by["QSN 16"].at(M) <= 340
+    assert 215 <= by["Myri 16"].at(M) <= 255
+    # the 2 KB eager->rendezvous dip of MVAPICH
+    assert by["IBA 16"].at(2048) < by["IBA 16"].at(1024)
+    assert by["IBA 16"].at(65536) > by["IBA 16"].at(2048)
+    # window helps IBA and Myri for small messages
+    assert by["IBA 16"].at(1024) >= by["IBA 4"].at(1024)

@@ -1,0 +1,18 @@
+"""Fig. 3 — host overhead in the latency test."""
+
+from repro.experiments import run_figure
+
+
+def test_fig03_overhead(once, benchmark):
+    fig = once(benchmark, run_figure, "fig3")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    # paper: Myri ~0.8 < IBA ~1.7 < QSN ~3.3 us
+    assert 0.5 < by["Myri"].at(4) < 1.3
+    assert 1.3 < by["IBA"].at(4) < 2.2
+    assert 2.7 < by["QSN"].at(4) < 3.9
+    # QSN overhead drops slightly past the 288-byte inline limit
+    assert by["QSN"].at(512) < by["QSN"].at(256)
+    # IBA and Myri overheads increase slightly with message size
+    assert by["IBA"].at(1024) > by["IBA"].at(4)
+    assert by["Myri"].at(1024) > by["Myri"].at(4)

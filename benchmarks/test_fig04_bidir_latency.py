@@ -1,0 +1,18 @@
+"""Fig. 4 — bi-directional latency."""
+
+from repro.experiments import run_figure
+from repro.microbench import measure_latency
+
+
+def test_fig04_bidir_latency(once, benchmark):
+    fig = once(benchmark, run_figure, "fig4")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    uni = {lbl: measure_latency(net, sizes=(4,), iters=15).at(4)
+           for lbl, net in (("IBA", "infiniband"), ("Myri", "myrinet"),
+                            ("QSN", "quadrics"))}
+    # paper: Myrinet degrades the most bi-directionally (10.1 vs 6.7)
+    assert by["Myri"].at(4) > uni["Myri"]
+    assert by["QSN"].at(4) >= uni["QSN"]
+    # orderings at small size: QSN fastest in our model; Myri slowest
+    assert by["Myri"].at(4) > by["IBA"].at(4)

@@ -1,0 +1,17 @@
+"""Fig. 5 — bi-directional bandwidth."""
+
+from repro.experiments import run_figure
+
+
+def test_fig05_bidir_bandwidth(once, benchmark):
+    fig = once(benchmark, run_figure, "fig5")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    M = 1048576
+    # paper: IBA ~900 (PCI-X ceiling), QSN ~375 (PCI ceiling)
+    assert 840 <= by["IBA"].at(M) <= 940
+    assert 350 <= by["QSN"].at(M) <= 420
+    # Myrinet: 473 MB/s at 64K, below 340 past 256K (SRAM staging)
+    assert 430 <= by["Myri"].at(65536) <= 500
+    assert by["Myri"].at(M) < 345
+    assert by["Myri"].at(262144) < by["Myri"].at(65536)

@@ -1,0 +1,18 @@
+"""Fig. 6 — computation/communication overlap potential."""
+
+from repro.experiments import run_figure
+
+
+def test_fig06_overlap(once, benchmark):
+    fig = once(benchmark, run_figure, "fig6")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    # paper: QSN's overlap grows steadily with size (NIC rendezvous)
+    assert by["QSN"].at(65536) > by["QSN"].at(4096) > by["QSN"].at(4)
+    # paper: IBA/Myri overlap flattens once rendezvous needs the host:
+    # by 64K, QSN overlaps far more than IBA and Myri
+    assert by["QSN"].at(65536) > 2.0 * by["IBA"].at(65536)
+    assert by["QSN"].at(65536) > 2.0 * by["Myri"].at(65536)
+    # small messages: IBA/Myri overlap their (higher) NIC/wire time
+    assert by["IBA"].at(4) > 0.5
+    assert by["Myri"].at(4) > 0.5

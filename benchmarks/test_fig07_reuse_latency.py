@@ -1,0 +1,17 @@
+"""Fig. 7 — latency sensitivity to buffer reuse."""
+
+from repro.experiments import run_figure
+
+
+def test_fig07_reuse_latency(once, benchmark):
+    fig = once(benchmark, run_figure, "fig7")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    # paper: steep rise for Quadrics with lack of reuse at ALL sizes
+    assert by["QSN 0"].at(64) > 2.0 * by["QSN 100"].at(64)
+    # paper: IBA suffers greatly for >1K messages without reuse
+    assert by["IBA 0"].at(4096) > 1.5 * by["IBA 100"].at(4096)
+    # paper: Myrinet not significantly affected until past 16K
+    assert by["Myri 0"].at(4096) < 1.3 * by["Myri 100"].at(4096)
+    # 50% reuse sits between the extremes
+    assert by["IBA 100"].at(4096) <= by["IBA 50"].at(4096) <= by["IBA 0"].at(4096)

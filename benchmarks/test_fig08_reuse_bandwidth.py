@@ -1,0 +1,14 @@
+"""Fig. 8 — bandwidth sensitivity to buffer reuse."""
+
+from repro.experiments import run_figure
+
+
+def test_fig08_reuse_bandwidth(once, benchmark):
+    fig = once(benchmark, run_figure, "fig8")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    # paper: IBA and QSN bandwidth drop significantly at 0% reuse
+    assert by["IBA 0"].at(65536) < 0.75 * by["IBA 100"].at(65536)
+    assert by["QSN 0"].at(65536) < 0.8 * by["QSN 100"].at(65536)
+    # paper: Myrinet unaffected below 16K (bounce buffers, no registration)
+    assert by["Myri 0"].at(1024) > 0.85 * by["Myri 100"].at(1024)

@@ -1,0 +1,17 @@
+"""Fig. 9 — intra-node latency (2 ranks on one SMP node)."""
+
+from repro.experiments import run_figure
+from repro.microbench import measure_latency
+
+
+def test_fig09_intranode_latency(once, benchmark):
+    fig = once(benchmark, run_figure, "fig9")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    # paper: Myri 1.3 us, IBA 1.6 us via shared memory
+    assert 0.9 < by["Myri"].at(4) < 1.7
+    assert 1.1 < by["IBA"].at(4) < 2.1
+    assert by["Myri"].at(4) < by["IBA"].at(4)
+    # paper: QSN intra-node is WORSE than its inter-node latency
+    qsn_inter = measure_latency("quadrics", sizes=(4,), iters=15).at(4)
+    assert by["QSN"].at(4) > qsn_inter

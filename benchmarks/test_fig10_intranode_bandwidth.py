@@ -1,0 +1,17 @@
+"""Fig. 10 — intra-node bandwidth."""
+
+from repro.experiments import run_figure
+
+
+def test_fig10_intranode_bandwidth(once, benchmark):
+    fig = once(benchmark, run_figure, "fig10")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    M = 1048576
+    # paper: IBA >450 MB/s for large messages (HCA loopback), clearly
+    # better than Myri and QSN which thrash the cache
+    assert by["IBA"].at(M) > 400
+    assert by["IBA"].at(M) > 1.5 * by["Myri"].at(M)
+    assert by["IBA"].at(M) > 1.5 * by["QSN"].at(M)
+    # Myri/QSN drop for large messages (cache thrashing)
+    assert by["Myri"].at(M) < by["Myri"].at(65536)

@@ -1,0 +1,13 @@
+"""Fig. 11 — MPI_Alltoall on 8 nodes (PMB methodology)."""
+
+from repro.experiments import run_figure
+
+
+def test_fig11_alltoall(once, benchmark):
+    fig = once(benchmark, run_figure, "fig11")
+    print("\n" + fig.render())
+    by = {s.label.split()[0]: s for s in fig.series}
+    # paper: IBA 31 < Myri 36 << QSN 67 us for small messages
+    assert by["IBA"].at(4) < by["Myri"].at(4) < by["QSN"].at(4)
+    assert 25 <= by["IBA"].at(4) <= 40
+    assert 55 <= by["QSN"].at(4) <= 80

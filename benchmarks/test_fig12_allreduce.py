@@ -1,0 +1,15 @@
+"""Fig. 12 — MPI_Allreduce on 8 nodes (PMB methodology)."""
+
+from repro.experiments import run_figure
+
+
+def test_fig12_allreduce(once, benchmark):
+    fig = once(benchmark, run_figure, "fig12")
+    print("\n" + fig.render())
+    by = {s.label.split()[0]: s for s in fig.series}
+    # paper: QSN 28 us beats IBA 46 us (low latency wins the tree);
+    # known deviation: our recursive-doubling Myri lands below QSN
+    # instead of between QSN and IBA (see EXPERIMENTS.md)
+    assert by["QSN"].at(8) < by["IBA"].at(8)
+    assert 22 <= by["QSN"].at(8) <= 34
+    assert 33 <= by["IBA"].at(8) <= 50

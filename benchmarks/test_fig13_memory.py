@@ -1,0 +1,15 @@
+"""Fig. 13 — MPI memory usage vs node count."""
+
+from repro.experiments import run_figure
+
+
+def test_fig13_memory(once, benchmark):
+    fig = once(benchmark, run_figure, "fig13")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    # paper: IBA grows with nodes (per-RC-connection resources),
+    # reaching ~55 MB at 8 nodes; Myri and QSN stay flat
+    assert by["IBA"].at(8) > by["IBA"].at(2) + 25
+    assert 45 <= by["IBA"].at(8) <= 65
+    assert abs(by["Myri"].at(8) - by["Myri"].at(2)) < 2
+    assert abs(by["QSN"].at(8) - by["QSN"].at(2)) < 2

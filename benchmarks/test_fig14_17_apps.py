@@ -1,0 +1,60 @@
+"""Figs. 14-17 — NAS class B and Sweep3D running times per network."""
+
+from repro.experiments import run_figure
+
+
+def _times(fig):
+    out = {}
+    for s in fig.series:
+        name, net = s.label.rsplit(" ", 1)
+        out[(name, net)] = s.points[0][1]
+    return out
+
+
+def test_fig14_is_mg(once, benchmark):
+    fig = once(benchmark, run_figure, "fig14")
+    print("\n" + fig.render())
+    t = _times(fig)
+    # paper: IS is IBA's biggest win (28%/38% over QSN/Myri)
+    assert t[("IS.B", "IBA")] < t[("IS.B", "QSN")]
+    assert t[("IS.B", "IBA")] < t[("IS.B", "Myri")]
+    # paper: 38% at 8 nodes; our switch model lacks the incast
+    # congestion real GM suffered, so the margin is smaller (see
+    # EXPERIMENTS.md deviations)
+    assert t[("IS.B", "Myri")] > 1.1 * t[("IS.B", "IBA")]
+    # MG: IBA best but the margins are small
+    assert t[("MG.B", "IBA")] <= t[("MG.B", "Myri")]
+    assert t[("MG.B", "IBA")] <= t[("MG.B", "QSN")]
+
+
+def test_fig15_sp_bt_lu(once, benchmark):
+    fig = once(benchmark, run_figure, "fig15")
+    print("\n" + fig.render())
+    t = _times(fig)
+    # paper: LU mostly small messages -> all three comparable (within ~5%)
+    lu = [t[("LU.B", n)] for n in ("IBA", "Myri", "QSN")]
+    assert max(lu) < 1.06 * min(lu)
+    # paper: QSN performs comparably on SP/BT (overlap-friendly)
+    assert t[("SP.B", "QSN")] < 1.1 * t[("SP.B", "IBA")]
+    assert t[("BT.B", "QSN")] < 1.1 * t[("BT.B", "IBA")]
+
+
+def test_fig16_cg_ft(once, benchmark):
+    fig = once(benchmark, run_figure, "fig16")
+    print("\n" + fig.render())
+    t = _times(fig)
+    # paper: IBA significantly better for FT and CG (large messages)
+    assert t[("FT.B", "IBA")] < t[("FT.B", "Myri")]
+    assert t[("FT.B", "IBA")] < t[("FT.B", "QSN")]
+    assert t[("CG.B", "IBA")] < t[("CG.B", "Myri")]
+    assert t[("CG.B", "IBA")] < t[("CG.B", "QSN")]
+
+
+def test_fig17_sweep3d(once, benchmark):
+    fig = once(benchmark, run_figure, "fig17")
+    print("\n" + fig.render())
+    t = _times(fig)
+    # paper: QSN worst for input 50; all comparable for input 150
+    assert t[("SWEEP3D.50", "QSN")] >= t[("SWEEP3D.50", "IBA")]
+    s150 = [t[("SWEEP3D.150", n)] for n in ("IBA", "Myri", "QSN")]
+    assert max(s150) < 1.08 * min(s150)

@@ -1,0 +1,26 @@
+"""Figs. 18-23 — application speedups (base: 2 nodes)."""
+
+import pytest
+
+from repro.experiments import run_figure
+
+
+@pytest.mark.parametrize("fig_id,app", [
+    ("fig18", "IS"), ("fig19", "CG"), ("fig20", "MG"),
+    ("fig21", "LU"), ("fig22", "S3d-50"), ("fig23", "S3d-150"),
+])
+def test_speedups(once, benchmark, fig_id, app):
+    fig = once(benchmark, run_figure, fig_id)
+    print("\n" + fig.render())
+    for s in fig.series:
+        # speedup grows with node count for every network
+        ys = s.ys
+        assert ys == sorted(ys), (s.label, ys)
+        # reasonable range at 8 nodes: >4x (the paper shows >= near-linear
+        # scaling, CG super-linear)
+        assert ys[-1] > 4.0, (s.label, ys)
+        assert ys[-1] < 14.0
+    if fig_id == "fig19":
+        # CG's super-linear speedup at 8 nodes (cache effects)
+        iba = {s.label: s for s in fig.series}["IBA"]
+        assert iba.at(8) > 8.0

@@ -1,0 +1,15 @@
+"""Fig. 24 — InfiniBand scalability to 16 nodes (Topspin cluster)."""
+
+from repro.experiments import run_figure
+
+
+def test_fig24_topspin(once, benchmark):
+    fig = once(benchmark, run_figure, "fig24")
+    print("\n" + fig.render())
+    # paper: very good scalability for all applications at 16 nodes
+    for s in fig.series:
+        assert s.ys == sorted(s.ys), s.label
+        assert s.ys[-1] > 1.8 * s.ys[0] if len(s.ys) == 2 else True
+    big = {s.label: s for s in fig.series}
+    for app in ("IS", "CG", "MG", "LU"):
+        assert big[app].at(16) > 8.0, app

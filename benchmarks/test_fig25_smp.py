@@ -1,0 +1,17 @@
+"""Fig. 25 — SMP performance: 16 processes on 8 nodes (block mapping)."""
+
+from repro.experiments import run_figure
+
+
+def test_fig25_smp(once, benchmark):
+    fig = once(benchmark, run_figure, "fig25")
+    print("\n" + fig.render())
+    t = {}
+    for s in fig.series:
+        name, net = s.label.rsplit(" ", 1)
+        t[(name, net)] = s.points[0][1]
+    # paper: IBA performs best in SMP mode for most applications
+    wins = sum(1 for app in ("IS.B", "CG.B", "LU.B", "FT.B")
+               if t[(app, "IBA")] <= t[(app, "Myri")]
+               and t[(app, "IBA")] <= t[(app, "QSN")])
+    assert wins >= 3

@@ -1,0 +1,14 @@
+"""Fig. 26 — InfiniBand latency: PCI vs PCI-X."""
+
+from repro.experiments import run_figure
+
+
+def test_fig26_pci_latency(once, benchmark):
+    fig = once(benchmark, run_figure, "fig26")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    delta = by["PCI"].at(4) - by["PCI-X"].at(4)
+    # paper: small-message latency increases by only ~0.6 us on PCI
+    assert 0.2 <= delta <= 1.2
+    # large messages suffer more (bandwidth-driven)
+    assert by["PCI"].at(4096) > by["PCI-X"].at(4096) + 1.0

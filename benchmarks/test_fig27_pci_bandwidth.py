@@ -1,0 +1,13 @@
+"""Fig. 27 — InfiniBand bandwidth: PCI vs PCI-X."""
+
+from repro.experiments import run_figure
+
+
+def test_fig27_pci_bandwidth(once, benchmark):
+    fig = once(benchmark, run_figure, "fig27")
+    print("\n" + fig.render())
+    by = {s.label: s for s in fig.series}
+    M = 1048576
+    # paper: 841 MB/s on PCI-X, only ~378 MB/s on PCI
+    assert 780 <= by["PCI-X"].at(M) <= 900
+    assert 340 <= by["PCI"].at(M) <= 420

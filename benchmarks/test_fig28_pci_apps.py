@@ -1,0 +1,21 @@
+"""Fig. 28 — NAS over InfiniBand: PCI vs PCI-X."""
+
+from repro.experiments import run_figure
+
+
+def test_fig28_pci_apps(once, benchmark):
+    fig = once(benchmark, run_figure, "fig28")
+    print("\n" + fig.render())
+    t = {}
+    for s in fig.series:
+        name, bus = s.label.rsplit(" ", 1)
+        t[(name, bus)] = s.points[0][1]
+    apps = sorted({k[0] for k in t})
+    degr = {a: (t[(a, "PCI")] - t[(a, "PCI-X")]) / t[(a, "PCI-X")] for a in apps}
+    # compute-bound apps barely notice the slower bus (paper: <5% avg)
+    for a in ("LU", "SP", "BT", "MG"):
+        assert degr[a] < 0.06, (a, degr[a])
+    # bandwidth-bound apps (IS, FT) pay more, but stay bounded
+    assert all(d < 0.6 for d in degr.values()), degr
+    # and PCI is never (meaningfully) faster
+    assert all(d > -0.02 for d in degr.values()), degr

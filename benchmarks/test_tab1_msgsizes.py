@@ -1,0 +1,23 @@
+"""Table 1 — message size distribution per application."""
+
+from repro.experiments import run_table
+
+
+def test_tab1_message_sizes(once, benchmark):
+    tab = once(benchmark, run_table, "table1")
+    print("\n" + tab.render())
+    got = {row[0]: row[1:] for row in tab.rows}
+    # IS: the only app with >1M messages (plus FT); ~11 of them
+    assert 8 <= got["IS"][3] <= 14          # paper: 11
+    assert 15 <= got["FT"][3] + got["FT"][0] <= 60
+    # LU: dominated by tiny messages, no >1M
+    assert got["LU"][0] > 40_000            # paper: 100021
+    assert got["LU"][3] == 0
+    # CG: mixes <2K with 16K-1M, nothing in between
+    assert got["CG"][0] > 3_000 and got["CG"][2] > 2_000
+    assert got["CG"][1] == 0 and got["CG"][3] == 0
+    # SP/BT: mid-large messages only
+    assert got["SP"][2] > 1_000 and got["SP"][3] == 0
+    # Sweep3D-150 splits between <2K and 2K-16K; -50 is all <2K
+    assert got["S3d-150"][0] > 10_000 and got["S3d-150"][1] > 10_000
+    assert got["S3d-50"][0] > 10_000 and got["S3d-50"][1] == 0

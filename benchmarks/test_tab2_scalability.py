@@ -1,0 +1,28 @@
+"""Table 2 — execution times for 2/4/8 processes on three networks."""
+
+from repro.experiments import run_table
+
+# paper Table 2, rows (IBA 2/4/8, Myri 2/4/8, QSN 2/4/8)
+PAPER = {
+    "IS": (6.73, 3.30, 1.78, 7.86, 4.99, 2.89, 7.04, 4.71, 2.47),
+    "CG": (132.26, 81.64, 28.68, 135.76, 74.36, 29.65, 135.05, 73.10, 30.12),
+    "MG": (23.60, 13.41, 5.81, 25.77, 14.87, 6.29, 24.07, 13.75, 6.04),
+    "LU": (648.53, 319.57, 165.53, 708.43, 338.70, 170.70, 667.30, 314.55, 168.18),
+    "S3d-50": (13.58, 7.18, 3.59, 13.33, 6.96, 3.57, 14.94, 7.37, 4.38),
+    "S3d-150": (346.43, 179.35, 91.43, 339.22, 176.94, 89.66, 343.60, 177.66, 95.99),
+}
+
+
+def test_tab2_scalability(once, benchmark):
+    tab = once(benchmark, run_table, "table2")
+    print("\n" + tab.render())
+    got = {row[0]: row[1:] for row in tab.rows}
+    # IBA column times within 25% of the paper for every app/count
+    for app, ref in PAPER.items():
+        for i in range(3):
+            sim = got[app][i]
+            assert abs(sim - ref[i]) / ref[i] < 0.25, (app, i, sim, ref[i])
+    # orderings the paper highlights: IS IBA fastest at every count
+    for i in range(3):
+        assert got["IS"][i] < got["IS"][3 + i]  # vs Myri
+        assert got["IS"][i] < got["IS"][6 + i]  # vs QSN

@@ -1,0 +1,18 @@
+"""Table 3 — non-blocking MPI call usage."""
+
+from repro.experiments import run_table
+
+
+def test_tab3_nonblocking(once, benchmark):
+    tab = once(benchmark, run_table, "table3")
+    print("\n" + tab.render())
+    got = {row[0]: row[1:] for row in tab.rows}
+    # paper: IS, FT, Sweep3D use no non-blocking calls at all
+    for app in ("IS", "FT", "S3d-50", "S3d-150"):
+        assert got[app][0] == 0 and got[app][2] == 0, app
+    # paper: SP/BT use both isend and irecv with very large averages
+    for app in ("SP", "BT"):
+        assert got[app][0] > 0 and got[app][2] > 0
+        assert got[app][1] > 150_000, app   # paper: 264K / 293K
+    # paper: LU uses irecv (wavefront pre-posts) far less than its sends
+    assert got["LU"][2] > 0

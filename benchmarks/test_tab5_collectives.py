@@ -1,0 +1,15 @@
+"""Table 5 — collective call usage."""
+
+from repro.experiments import run_table
+
+
+def test_tab5_collectives(once, benchmark):
+    tab = once(benchmark, run_table, "table5")
+    print("\n" + tab.render())
+    got = {row[0]: row[1:] for row in tab.rows}
+    # paper: IS and FT are almost exclusively collective by volume
+    assert got["IS"][2] > 95.0
+    assert got["FT"][2] > 95.0
+    # paper: CG, LU, SP, BT are essentially point-to-point by volume
+    for app in ("CG", "LU", "SP", "BT"):
+        assert got[app][2] < 5.0, app

@@ -1,0 +1,15 @@
+"""Table 6 — intra-node point-to-point share (block mapping, 2 ppn)."""
+
+from repro.experiments import run_table
+
+
+def test_tab6_intranode(once, benchmark):
+    tab = once(benchmark, run_table, "table6")
+    print("\n" + tab.render())
+    got = {row[0]: row[1:] for row in tab.rows}
+    # paper: FT has zero intra-node pt2pt (it is all collectives)
+    assert got["FT"][0] == 0
+    # paper: CG ~43% of calls, LU ~33%, Sweep3D ~33% intra-node
+    for app, lo, hi in (("CG", 20, 60), ("LU", 15, 55),
+                        ("S3d-150", 15, 55)):
+        assert lo < got[app][1] < hi, (app, got[app])

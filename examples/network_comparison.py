@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Micro-benchmark sweep: the paper's §3 characterization in one script.
+
+Reproduces the measurements behind Figures 1-6 with terminal charts:
+latency, bandwidth, host overhead, bi-directional behaviour and the
+computation/communication overlap potential that separates Quadrics'
+NIC-progressed rendezvous from the host-driven stacks.
+
+Run:  python examples/network_comparison.py
+"""
+
+from repro.experiments.ascii_plot import line_chart, table
+from repro.microbench import (
+    measure_bandwidth,
+    measure_bidir_bandwidth,
+    measure_host_overhead,
+    measure_latency,
+    measure_overlap,
+)
+from repro.networks import NETWORKS
+
+NETS = tuple(NETWORKS)
+
+
+def main():
+    # --- latency (Fig. 1) ------------------------------------------------
+    sizes = tuple(4 ** k for k in range(1, 8))
+    series = []
+    for net in NETS:
+        s = measure_latency(net, sizes=sizes, iters=20)
+        s.label = NETWORKS[net]
+        series.append(s)
+    print(line_chart(series, title="MPI latency (Fig. 1)", ylabel="us"))
+    print()
+
+    # --- bandwidth (Fig. 2) -------------------------------------------
+    sizes = (64, 1024, 4096, 65536, 1048576)
+    series = []
+    for net in NETS:
+        s = measure_bandwidth(net, sizes=sizes, window=16, rounds=8)
+        s.label = NETWORKS[net]
+        series.append(s)
+    print(line_chart(series, title="Uni-directional bandwidth, W=16 (Fig. 2)",
+                     ylabel="MB/s"))
+    print()
+
+    # --- the numbers the paper quotes ------------------------------------
+    rows = []
+    for net in NETS:
+        lat = measure_latency(net, sizes=(4,), iters=20).at(4)
+        ovh = measure_host_overhead(net, sizes=(4,), iters=20).at(4)
+        uni = measure_bandwidth(net, sizes=(1048576,), rounds=6).at(1048576)
+        bid = measure_bidir_bandwidth(net, sizes=(1048576,), rounds=6).at(1048576)
+        ovl = measure_overlap(net, sizes=(65536,), iters=6).at(65536)
+        rows.append([NETWORKS[net], round(lat, 2), round(ovh, 2),
+                     round(uni), round(bid), round(ovl)])
+    print(table(
+        ["net", "lat us", "ovh us", "uni MB/s", "bidir MB/s", "overlap@64K us"],
+        rows, title="Headline characterization (paper: Figs. 1-6)"))
+    print("\npaper:  IBA 6.8/1.7/841/900 | Myri 6.7/0.8/235/473 | "
+          "QSN 4.6/3.3/308/375; only QSN overlaps large rendezvous")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — simulation-based reproduction of Liu et al., SC'03.
+
+"Performance Comparison of MPI Implementations over InfiniBand, Myrinet
+and Quadrics" is a hardware measurement study.  This package rebuilds the
+entire measured stack in software:
+
+- :mod:`repro.core` — a deterministic discrete-event simulation kernel.
+- :mod:`repro.hardware` — CPUs, PCI/PCI-X buses, memory registration,
+  NICs and crossbar switches.
+- :mod:`repro.networks` — VAPI-like InfiniBand verbs, GM-like Myrinet and
+  Tports-like Quadrics messaging layers.
+- :mod:`repro.mpi` — an MPICH-style MPI implementation (eager/rendezvous
+  protocols, collectives, shared-memory intra-node channel) ported to each
+  messaging layer, mirroring MVAPICH, MPICH-GM and MPICH-Quadrics.
+- :mod:`repro.profiling` — MPICH-logging-style call tracing and the
+  derived statistics used in the paper's Tables 1 and 3-6.
+- :mod:`repro.microbench` — the paper's extended micro-benchmark suite.
+- :mod:`repro.apps` — NAS Parallel Benchmarks (IS, CG, MG, LU, FT, SP,
+  BT) and Sweep3D implemented over the simulated MPI.
+- :mod:`repro.experiments` — drivers regenerating every figure and table.
+
+Quickstart::
+
+    from repro.mpi import mpi_run
+    from repro.networks import make_network
+
+    def pingpong(comm):
+        if comm.rank == 0:
+            buf = comm.alloc_bytes(1024)
+            yield from comm.send(buf, dest=1, tag=0)
+            yield from comm.recv(buf, source=1, tag=1)
+        else:
+            buf = comm.alloc_bytes(1024)
+            yield from comm.recv(buf, source=0, tag=0)
+            yield from comm.send(buf, dest=0, tag=1)
+
+    result = mpi_run(pingpong, nprocs=2, network="infiniband")
+    print(result.elapsed_us)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["Simulator", "mpi_run", "MPIWorld", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy top-level exports: keep `import repro` cheap and avoid import
+    # cycles between the hardware / network / mpi layers.
+    if name == "Simulator":
+        from repro.core.engine import Simulator
+
+        return Simulator
+    if name in ("mpi_run", "MPIWorld"):
+        from repro.mpi import world
+
+        return getattr(world, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

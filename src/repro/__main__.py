@@ -1,0 +1,104 @@
+"""Command-line entry point: regenerate paper artifacts from a shell.
+
+Usage::
+
+    python -m repro fig1                 # one figure (fig1 .. fig28)
+    python -m repro table2               # one table (table1 .. table6)
+    python -m repro calibration          # parameter inventory + anchors
+    python -m repro loggp                # LogGP characterization
+    python -m repro profile is.B 8       # one app's communication profile
+    python -m repro list                 # everything available
+    python -m repro fig2 --full          # full (slow) sweep instead of quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import FIGURES, TABLES, run_figure, run_table
+
+
+def _cmd_list() -> int:
+    from repro.apps.classes import PROBLEMS
+
+    print("figures: " + " ".join(sorted(FIGURES, key=lambda f: int(f[3:]))))
+    print("tables:  " + " ".join(sorted(TABLES)))
+    print("apps:    " + " ".join(sorted(PROBLEMS)))
+    print("other:   calibration  loggp  sensitivity  validate  report  profile <app.class> <nprocs>")
+    return 0
+
+
+def _cmd_profile(spec: str, nprocs: int, network: str) -> int:
+    from repro.apps import run_app
+    from repro.profiling.report import app_profile_report
+
+    app, klass = spec.split(".", 1)
+    res = run_app(app, klass, network, nprocs)
+    print(app_profile_report(f"{spec} on {nprocs} x {network}", res.recorder))
+    print(f"\nexecution time: {res.elapsed_s:.2f} s "
+          f"({res.sim_iters}/{res.total_iters} iterations simulated)")
+    return 0
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch to the requested artifact."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate artifacts from Liu et al. (SC'03) in simulation.")
+    parser.add_argument("target", help="figN | tableN | calibration | loggp | "
+                                       "sensitivity | profile | list")
+    parser.add_argument("args", nargs="*", help="extra arguments (profile: "
+                                                "app.class nprocs)")
+    parser.add_argument("--full", action="store_true",
+                        help="full sweeps instead of the quick defaults")
+    parser.add_argument("--network", default="infiniband",
+                        help="network for 'profile' (default: infiniband)")
+    ns = parser.parse_args(argv)
+
+    t = ns.target.lower()
+    if t == "list":
+        return _cmd_list()
+    if t == "calibration":
+        from repro.experiments.calibration import calibration_report
+
+        print(calibration_report())
+        return 0
+    if t == "loggp":
+        from repro.analysis import loggp_report
+
+        print(loggp_report())
+        return 0
+    if t == "sensitivity":
+        from repro.analysis import sensitivity_report
+
+        print(sensitivity_report())
+        return 0
+    if t == "validate":
+        from repro.experiments.validate import validation_report
+
+        print(validation_report(quick=not ns.full))
+        return 0
+    if t == "report":
+        import sys as _sys
+
+        from repro.experiments.report_all import reproduce_all
+
+        reproduce_all(quick=not ns.full, out=_sys.stdout)
+        return 0
+    if t == "profile":
+        if len(ns.args) != 2:
+            parser.error("profile needs: <app.class> <nprocs>")
+        return _cmd_profile(ns.args[0], int(ns.args[1]), ns.network)
+    if t in FIGURES:
+        print(run_figure(t, quick=not ns.full).render())
+        return 0
+    if t in TABLES:
+        print(run_table(t, quick=not ns.full).render())
+        return 0
+    parser.error(f"unknown target {ns.target!r}; try 'python -m repro list'")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

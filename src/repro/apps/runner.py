@@ -1,0 +1,101 @@
+"""Application runner: build a world, run an app, extrapolate sampled loops."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
+
+from repro.apps.base import AppBase
+from repro.apps.classes import ProblemConfig, get_problem
+from repro.apps.nas import (BTBench, CGBench, FTBench, ISBench, LUBench,
+                            MGBench, SPBench)
+from repro.apps.sweep3d import Sweep3DBench
+from repro.mpi.world import MPIWorld
+from repro.profiling.recorder import Recorder
+
+__all__ = ["APP_REGISTRY", "AppResult", "run_app"]
+
+APP_REGISTRY: Dict[str, Type[AppBase]] = {
+    "is": ISBench,
+    "cg": CGBench,
+    "mg": MGBench,
+    "ft": FTBench,
+    "lu": LUBench,
+    "sp": SPBench,
+    "bt": BTBench,
+    "sweep3d": Sweep3DBench,
+}
+
+
+@dataclass
+class AppResult:
+    """Outcome of one simulated application run."""
+
+    app: str
+    klass: str
+    network: str
+    nprocs: int
+    ppn: int
+    #: full-run execution time (sampled loops extrapolated), seconds
+    elapsed_s: float
+    #: loop iterations actually simulated / in the full run
+    sim_iters: int
+    total_iters: int
+    verified: Optional[bool]
+    recorder: Optional[Recorder]
+
+    def __str__(self) -> str:  # pragma: no cover
+        v = "" if self.verified is None else f" verified={self.verified}"
+        return (f"{self.app}.{self.klass} {self.network} np={self.nprocs}: "
+                f"{self.elapsed_s:.2f}s{v}")
+
+
+def run_app(app: str, klass: str, network: str, nprocs: int, ppn: int = 1,
+            verify: bool = False, sample_iters: Optional[int] = None,
+            record: bool = True, net_overrides: Optional[dict] = None) -> AppResult:
+    """Run one (app, class) on a fresh world and return timing + profile.
+
+    In paper mode, only ``sample_iters`` of the homogeneous main loop
+    are simulated; the loop time and the profile are extrapolated to the
+    full iteration count (``recorder.scale``).
+    """
+    cfg = get_problem(app, klass)
+    # one bench instance per rank: each holds that rank's local state
+    benches = {r: APP_REGISTRY[app](cfg, nprocs, verify=verify)
+               for r in range(nprocs)}
+    if verify:
+        nsim = cfg.niters
+    else:
+        nsim = sample_iters if sample_iters is not None else (cfg.sample_iters or cfg.niters)
+        nsim = min(max(nsim, 1), cfg.niters)
+    marks: dict = {}
+
+    def rank_fn(comm):
+        bench = benches[comm.rank]
+        yield from bench.setup(comm)
+        yield from comm.barrier()
+        if comm.rank == 0:
+            marks["t_loop_start"] = comm.sim.now
+        for it in range(nsim):
+            yield from bench.iteration(comm, it)
+        yield from comm.barrier()
+        if comm.rank == 0:
+            marks["t_loop_end"] = comm.sim.now
+        yield from bench.finalize(comm)
+
+    world = MPIWorld(nprocs, network=network, ppn=ppn, record=record,
+                     net_overrides=net_overrides)
+    res = world.run(rank_fn)
+    loop_us = marks["t_loop_end"] - marks["t_loop_start"]
+    setup_us = marks["t_loop_start"]
+    elapsed_us = setup_us + loop_us * (cfg.niters / nsim)
+    if record and res.recorder is not None:
+        res.recorder.scale = cfg.niters / nsim
+        res.recorder.sample_iters = nsim
+    flags = [b.verified for b in benches.values()]
+    verified = None if all(v is None for v in flags) else all(v in (True, None) for v in flags)
+    return AppResult(
+        app=app, klass=klass, network=world.network, nprocs=nprocs, ppn=ppn,
+        elapsed_s=elapsed_us / 1e6, sim_iters=nsim, total_iters=cfg.niters,
+        verified=verified, recorder=res.recorder,
+    )

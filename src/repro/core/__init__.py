@@ -1,0 +1,45 @@
+"""Deterministic discrete-event simulation kernel.
+
+Everything in this reproduction — buses, NIC engines, MPI ranks, whole
+application benchmarks — runs on this kernel.  It is a small, fast,
+simpy-flavoured engine:
+
+- :class:`~repro.core.engine.Simulator` owns the event heap and the clock
+  (time unit: **microseconds**, stored as ``float``).
+- Processes are plain generator functions that ``yield`` events.
+- :class:`~repro.core.resources.FifoServer` is the workhorse queueing
+  primitive used for buses, links and NIC engines: an O(1) analytic FIFO
+  bandwidth server.
+
+Determinism: heap entries are ordered by ``(time, priority, seq)`` where
+``seq`` is a global insertion counter, so identical programs produce
+identical event orders and therefore identical simulated timings.
+"""
+
+from repro.core.engine import Simulator, SimulationError, Event, Timeout
+from repro.core.process import Process, ProcessKilled
+from repro.core.resources import (
+    AllOf,
+    AnyOf,
+    Condition,
+    FifoServer,
+    Gate,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "Timeout",
+    "Process",
+    "ProcessKilled",
+    "Resource",
+    "Store",
+    "FifoServer",
+    "Gate",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+]

@@ -1,0 +1,206 @@
+"""Event heap, simulated clock and the base Event types.
+
+The engine is deliberately minimal: an :class:`Event` is a one-shot
+triggerable cell with callbacks; the :class:`Simulator` pops scheduled
+events off a heap in ``(time, priority, seq)`` order and fires them.
+Generator processes (see :mod:`repro.core.process`) are built on top by
+registering a resume callback on whatever event they yield.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["Simulator", "Event", "Timeout", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (double trigger, deadlock...)."""
+
+
+#: Priority used for ordinary events.
+PRIO_NORMAL = 5
+#: Priority for "urgent" bookkeeping events that must run before normal
+#: events scheduled at the same timestamp (e.g. resource handoffs).
+PRIO_URGENT = 0
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when given a value (or
+    an exception), and is *processed* once the simulator has fired its
+    callbacks.  Processes wait on events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "processed", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self.triggered = False
+        self.processed = False
+        self.name = name
+
+    # -- inspection ---------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True once triggered successfully."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value (only meaningful once triggered)."""
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering ---------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0, priority: int = PRIO_NORMAL) -> "Event":
+        """Trigger this event with ``value`` after ``delay`` sim-time."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self.triggered = True
+        self._value = value
+        self.sim._schedule(self, delay, priority)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0, priority: int = PRIO_NORMAL) -> "Event":
+        """Trigger this event with an exception after ``delay`` sim-time."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._exc = exc
+        self.sim._schedule(self, delay, priority)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event fires (immediately if fired)."""
+        if self.callbacks is None:
+            # Already processed: fire synchronously so late waiters still
+            # observe the value.  This is what lets processes yield
+            # already-completed events (e.g. a finished transfer).
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} at t={self.sim.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, priority: int = PRIO_NORMAL):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        sim._schedule(self, delay, priority)
+
+
+class Simulator:
+    """Discrete-event simulator with a microsecond ``float`` clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self._nprocessed: int = 0
+        self._running = False
+        #: user-attachable context (the MPIWorld stores itself here)
+        self.context: dict = {}
+
+    # -- event factories ----------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator, name: str = "proc"):
+        """Start a new generator process.  Returns the Process handle."""
+        from repro.core.process import Process
+
+        return Process(self, generator, name=name)
+
+    # -- scheduling ---------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int = PRIO_NORMAL) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        if t < self.now - 1e-9:
+            raise SimulationError("time went backwards")
+        self.now = t
+        callbacks = event.callbacks
+        event.callbacks = None
+        event.processed = True
+        self._nprocessed += 1
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+
+    def run(self, until: Optional[float] = None, until_event: Optional[Event] = None) -> Any:
+        """Run until the heap drains, ``until`` time, or ``until_event`` fires.
+
+        Returns ``until_event.value`` when given, else ``None``.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            if until_event is not None:
+                stop = []
+                until_event.add_callback(lambda ev: stop.append(ev))
+                while not stop:
+                    if not self._heap:
+                        raise SimulationError(
+                            f"deadlock: event heap drained at t={self.now:.3f} "
+                            f"while waiting for {until_event!r}"
+                        )
+                    if until is not None and self.peek() > until:
+                        raise SimulationError(
+                            f"simulation horizon {until} reached while waiting "
+                            f"for {until_event!r}"
+                        )
+                    self.step()
+                return until_event.value
+            while self._heap:
+                if until is not None and self.peek() > until:
+                    break
+                self.step()
+            if until is not None and self.now < until:
+                self.now = until
+            return None
+        finally:
+            self._running = False
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed — useful for performance diagnostics."""
+        return self._nprocessed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Simulator t={self.now:.3f} pending={len(self._heap)}>"

@@ -1,0 +1,110 @@
+"""Generator-coroutine processes.
+
+A process is a generator that yields :class:`~repro.core.engine.Event`
+objects.  When a yielded event fires, the generator is resumed with the
+event's value (or the event's exception is thrown into it).  A Process is
+itself an Event that fires with the generator's return value, so
+processes can be joined simply by yielding them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.core.engine import Event, SimulationError, Simulator
+
+__all__ = ["Process", "ProcessKilled"]
+
+
+class ProcessKilled(Exception):
+    """Thrown into a generator when its process is killed."""
+
+
+class Process(Event):
+    """A running generator coroutine; also an Event (its completion)."""
+
+    __slots__ = ("generator", "_waiting_on", "_alive")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "proc") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__} "
+                "(did you forget to call the generator function?)"
+            )
+        super().__init__(sim, name=name)
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._alive = True
+        # Kick off on an immediate timeout so creation order == start order.
+        boot = sim.timeout(0.0)
+        boot.add_callback(self._resume)
+
+    # -- lifecycle ----------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        return self._alive
+
+    def kill(self, reason: str = "") -> None:
+        """Terminate the process by throwing ProcessKilled into it."""
+        if not self._alive:
+            return
+        target = self._waiting_on
+        self._waiting_on = None
+        exc = ProcessKilled(reason or f"process {self.name} killed")
+        try:
+            self.generator.throw(exc)
+        except (StopIteration, ProcessKilled):
+            pass
+        self._finish(exc=None, value=None, killed=True)
+        # Make sure a pending event resume doesn't touch the dead process.
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+
+    def _finish(self, exc: Optional[BaseException], value: Any, killed: bool = False) -> None:
+        self._alive = False
+        if self.triggered:
+            return
+        if exc is not None:
+            self.fail(exc)
+        else:
+            self.succeed(value)
+
+    # -- engine callback ----------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if not self._alive:
+            return
+        self._waiting_on = None
+        gen = self.generator
+        try:
+            if event.exception is not None:
+                nxt = gen.throw(event.exception)
+            else:
+                nxt = gen.send(event._value)
+        except StopIteration as stop:
+            self._finish(None, stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via event
+            self._finish(exc, None)
+            return
+        if not isinstance(nxt, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded {nxt!r}; processes must yield "
+                "Event objects (use `yield from` to call sub-coroutines)"
+            )
+            try:
+                gen.throw(err)
+            except BaseException as exc:  # noqa: BLE001
+                self._finish(exc if not isinstance(exc, StopIteration) else None,
+                             getattr(exc, "value", None))
+                return
+            self._finish(err, None)
+            return
+        self._waiting_on = nxt
+        nxt.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,64 @@
+"""Structured simulator tracing.
+
+A :class:`Tracer` collects ``TraceRecord`` tuples from any layer that
+wants to report what it did (NIC engines, protocol state machines...).
+Tracing is off by default and adds a single predicate call per record
+when disabled, so it is safe to leave trace points in hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace point: what happened, where, when."""
+
+    time_us: float
+    category: str
+    actor: str
+    detail: str
+    data: Any = None
+
+
+class Tracer:
+    """Append-only trace collector with category filtering."""
+
+    def __init__(self, enabled: bool = False, categories: Optional[set] = None) -> None:
+        self.enabled = enabled
+        self.categories = categories  # None == all
+        self.records: List[TraceRecord] = []
+
+    def emit(self, time_us: float, category: str, actor: str, detail: str, data: Any = None) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.records.append(TraceRecord(time_us, category, actor, detail, data))
+
+    def filter(self, category: Optional[str] = None, actor: Optional[str] = None) -> Iterator[TraceRecord]:
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if actor is not None and rec.actor != actor:
+                continue
+            yield rec
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump(self, limit: int = 100) -> str:
+        """Render the first ``limit`` records as aligned text lines."""
+        lines = []
+        for rec in self.records[:limit]:
+            lines.append(f"{rec.time_us:12.3f}  {rec.category:<10} {rec.actor:<18} {rec.detail}")
+        if len(self.records) > limit:
+            lines.append(f"... ({len(self.records) - limit} more)")
+        return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Unit conventions and conversion helpers.
+
+Internal conventions used throughout the simulator:
+
+- **time**: microseconds (``float``)
+- **bandwidth**: bytes per microsecond (1 B/µs == 10^6 B/s ≈ 0.954 MB/s)
+- **sizes**: bytes (``int``)
+
+The paper reports bandwidth in MB/s where **MB = 2^20 bytes** (stated
+explicitly in §3.1); these helpers keep that convention in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "US_PER_S",
+    "mbps_to_bytes_per_us",
+    "bytes_per_us_to_mbps",
+    "gbit_to_bytes_per_us",
+    "us_to_s",
+    "s_to_us",
+    "fmt_size",
+]
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+US_PER_S = 1_000_000.0
+
+
+def mbps_to_bytes_per_us(mb_per_s: float) -> float:
+    """Paper-convention MB/s (MB = 2^20 B) -> bytes/µs."""
+    return mb_per_s * MB / US_PER_S
+
+
+def bytes_per_us_to_mbps(bytes_per_us: float) -> float:
+    """bytes/µs -> paper-convention MB/s (MB = 2^20 B)."""
+    return bytes_per_us * US_PER_S / MB
+
+
+def gbit_to_bytes_per_us(gbit_per_s: float) -> float:
+    """Signaling rate in Gbit/s -> payload bytes/µs (no coding overhead)."""
+    return gbit_per_s * 1e9 / 8.0 / US_PER_S
+
+
+def us_to_s(us: float) -> float:
+    """Microseconds -> seconds."""
+    return us / US_PER_S
+
+
+def s_to_us(s: float) -> float:
+    """Seconds -> microseconds."""
+    return s * US_PER_S
+
+
+def fmt_size(nbytes: int) -> str:
+    """Human-readable size label matching the paper's axis ticks."""
+    if nbytes >= MB and nbytes % MB == 0:
+        return f"{nbytes // MB}M"
+    if nbytes >= KB and nbytes % KB == 0:
+        return f"{nbytes // KB}K"
+    return str(nbytes)

@@ -1,0 +1,27 @@
+"""Experiment drivers: one function per paper figure and table.
+
+:mod:`repro.experiments.figures` regenerates every figure (1-28),
+:mod:`repro.experiments.tables` every table (1-6); both return
+structured results that render to the terminal via
+:mod:`repro.experiments.ascii_plot` and that the ``benchmarks/``
+harness asserts shape properties against.
+"""
+
+from repro.experiments.ascii_plot import line_chart, bar_chart
+from repro.experiments.figures import FIGURES, FigureResult, run_figure
+from repro.experiments.report_all import reproduce_all
+from repro.experiments.validate import validation_report
+from repro.experiments.tables import TABLES, TableResult, run_table
+
+__all__ = [
+    "FIGURES",
+    "TABLES",
+    "FigureResult",
+    "TableResult",
+    "run_figure",
+    "run_table",
+    "reproduce_all",
+    "validation_report",
+    "line_chart",
+    "bar_chart",
+]

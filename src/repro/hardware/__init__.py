@@ -1,0 +1,48 @@
+"""Cluster hardware models.
+
+Reproduces the paper's testbed in simulation: 8 SuperMicro SUPER P4DL6
+nodes (dual 2.4 GHz Xeon, ServerWorks GC chipset) carrying three NICs
+each — an InfiniHost HCA and a Myrinet card on the 64-bit/133 MHz PCI-X
+bus and a Quadrics Elan3 QM-400 on a 64-bit/66 MHz PCI slot — wired to
+an InfiniScale, a Myrinet-2000 and an Elite-16 switch respectively.
+
+The models are *timing* models: a message is carried through a pipeline
+of analytic FIFO bandwidth servers (host bus -> NIC engine -> link ->
+switch port -> NIC engine -> host bus), so the effects the paper measures
+(bus saturation, wire-rate ceilings, store-and-forward penalties,
+pipelining across chunks) all emerge from the same contention machinery.
+"""
+
+from repro.hardware.bus import (HostBus, make_pci_bus, make_pcie_bus,
+                                make_pcix_bus)
+from repro.hardware.cpu import HostCPU, MemcpyModel
+from repro.hardware.memory import (
+    AddressSpace,
+    Buffer,
+    NicTlb,
+    PinDownCache,
+    RegistrationError,
+)
+from repro.hardware.node import Node
+from repro.hardware.path import PipelinePath, Stage
+from repro.hardware.switch import CrossbarSwitch
+from repro.hardware.cluster import Cluster
+
+__all__ = [
+    "HostBus",
+    "make_pci_bus",
+    "make_pcie_bus",
+    "make_pcix_bus",
+    "HostCPU",
+    "MemcpyModel",
+    "AddressSpace",
+    "Buffer",
+    "PinDownCache",
+    "NicTlb",
+    "RegistrationError",
+    "Node",
+    "Cluster",
+    "CrossbarSwitch",
+    "PipelinePath",
+    "Stage",
+]

@@ -1,0 +1,38 @@
+"""Cluster topology: a set of nodes around per-network fabrics.
+
+The paper's primary testbed is an 8-node cluster at OSU; Fig. 24 adds a
+16-node Topspin InfiniBand cluster.  A :class:`Cluster` owns the nodes;
+network fabrics (:mod:`repro.networks`) attach adapters and a switch to
+it when constructed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.engine import Simulator
+from repro.hardware.cpu import MemcpyModel
+from repro.hardware.node import Node
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """``nnodes`` SMP nodes managed by one simulator."""
+
+    def __init__(self, sim: Simulator, nnodes: int, ncores_per_node: int = 2,
+                 memcpy: MemcpyModel | None = None) -> None:
+        if nnodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.sim = sim
+        self.nnodes = nnodes
+        self.memcpy = memcpy or MemcpyModel()
+        self.nodes: List[Node] = [
+            Node(sim, i, ncores=ncores_per_node, memcpy=self.memcpy) for i in range(nnodes)
+        ]
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Cluster nodes={self.nnodes}>"

@@ -1,0 +1,105 @@
+"""Host CPU model: compute time, communication overhead accounting, memcpy.
+
+Each MPI rank is bound to one CPU of its node (the testbed ran at most
+2 ranks on a dual-Xeon node).  The CPU tracks how much of its time went
+to *communication* (time inside the MPI library) versus *computation*,
+which is exactly the quantity the paper's host-overhead micro-benchmark
+(Fig. 3) reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import Simulator, Timeout
+
+__all__ = ["MemcpyModel", "HostCPU"]
+
+
+@dataclass(frozen=True)
+class MemcpyModel:
+    """Cache-aware memory copy cost model (2.4 GHz P4 Xeon, 512 KB L2).
+
+    Three rate bands by working-set size: hot (fits comfortably in L2,
+    e.g. protocol bounce buffers), L2-resident, and memory-bound.  The
+    shared-memory intra-node channel additionally uses a *streaming*
+    rate (``shmem_bytes_per_us``) for its two passes through the shared
+    segment — once the double working set spills the L2, the rate
+    collapses to the memory band, which is the cache-thrashing
+    large-message intra-node bandwidth drop the paper reports for
+    Myrinet and Quadrics (§3.6, Fig. 10).
+    """
+
+    setup_us: float = 0.08
+    hot_bytes_per_us: float = 3000.0
+    l2_bytes_per_us: float = 1400.0
+    mem_bytes_per_us: float = 950.0
+    hot_bytes: int = 128 * 1024
+    l2_bytes: int = 512 * 1024
+    #: streaming rate through a shared segment (both caches involved)
+    shmem_bytes_per_us: float = 760.0
+    #: shared-segment rate once the double working set thrashes the L2
+    #: (two CPUs fighting over the same lines: far below plain streaming)
+    shmem_thrash_bytes_per_us: float = 210.0
+
+    def copy_time(self, nbytes: int, working_set: int | None = None) -> float:
+        """Cost of one protocol copy of ``nbytes``."""
+        ws = nbytes if working_set is None else working_set
+        if ws <= self.hot_bytes:
+            rate = self.hot_bytes_per_us
+        elif ws <= self.l2_bytes:
+            rate = self.l2_bytes_per_us
+        else:
+            rate = self.mem_bytes_per_us
+        return self.setup_us + nbytes / rate
+
+    def shmem_copy_time(self, nbytes: int) -> float:
+        """Cost of one shared-memory-channel pass over ``nbytes``.
+
+        The working set is twice the message (source + segment), so the
+        rate collapses once ``2 * nbytes`` exceeds the L2.
+        """
+        rate = (self.shmem_bytes_per_us if 2 * nbytes <= self.l2_bytes
+                else self.shmem_thrash_bytes_per_us)
+        return self.setup_us + nbytes / rate
+
+
+class HostCPU:
+    """One processor core executing a single rank.
+
+    All time charged on a CPU is classified as either computation or
+    communication (MPI library) time.  The micro-benchmarks read
+    ``comm_time_us`` to reproduce the paper's host overhead measurements.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, core_id: int,
+                 memcpy: MemcpyModel | None = None) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.core_id = core_id
+        self.memcpy = memcpy or MemcpyModel()
+        self.comm_time_us: float = 0.0
+        self.compute_time_us: float = 0.0
+        self.name = f"cpu{node_id}.{core_id}"
+
+    # Both helpers return Timeout events the rank process must yield.
+    def compute(self, us: float) -> Timeout:
+        """Charge ``us`` microseconds of application computation."""
+        self.compute_time_us += us
+        return self.sim.timeout(us)
+
+    def comm(self, us: float) -> Timeout:
+        """Charge ``us`` microseconds of MPI-library (host overhead) time."""
+        self.comm_time_us += us
+        return self.sim.timeout(us)
+
+    def comm_copy(self, nbytes: int, working_set: int | None = None) -> Timeout:
+        """Charge a host memory copy performed by the MPI library."""
+        return self.comm(self.memcpy.copy_time(nbytes, working_set))
+
+    def reset_accounting(self) -> None:
+        self.comm_time_us = 0.0
+        self.compute_time_us = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<HostCPU {self.name} comm={self.comm_time_us:.1f}us compute={self.compute_time_us:.1f}us>"

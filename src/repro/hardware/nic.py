@@ -1,0 +1,54 @@
+"""Generic NIC building blocks shared by the three adapter models.
+
+A NIC contributes three things to a message pipeline:
+
+- a **TX engine** (descriptor processing + data movement out of the
+  card) and an **RX engine**, each a FIFO bandwidth server;
+- a **wire uplink** server (node -> switch link direction);
+- fixed per-message processing latencies (doorbell decode, header
+  build/parse), which differ wildly between the fast ASIC path of
+  InfiniHost/Elan3 and Myrinet's firmware running on the 225 MHz
+  LANai-XP.
+
+Concrete adapters (:mod:`repro.networks.infiniband.hca`,
+:mod:`repro.networks.myrinet.lanai`, :mod:`repro.networks.quadrics.elan`)
+assemble these into per-destination :class:`~repro.hardware.path.PipelinePath`s.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import Simulator
+from repro.core.resources import FifoServer
+
+__all__ = ["NicPorts"]
+
+
+class NicPorts:
+    """TX/RX engines and the uplink wire for one adapter instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        engine_bw_bytes_per_us: float,
+        wire_bw_bytes_per_us: float,
+        tx_chunk_overhead_us: float,
+        rx_chunk_overhead_us: float,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.tx_engine = FifoServer(sim, engine_bw_bytes_per_us,
+                                    overhead_us=tx_chunk_overhead_us, name=f"{name}.tx")
+        self.rx_engine = FifoServer(sim, engine_bw_bytes_per_us,
+                                    overhead_us=rx_chunk_overhead_us, name=f"{name}.rx")
+        self.uplink = FifoServer(sim, wire_bw_bytes_per_us, overhead_us=0.0,
+                                 name=f"{name}.uplink")
+        # One message processor per NIC handles *both* TX and RX
+        # per-message work (descriptor decode, header build/parse) —
+        # InfiniHost's execution engine, the LANai firmware, the Elan
+        # thread processor.  Sharing it is what degrades bi-directional
+        # small-message latency relative to uni-directional (Fig. 4).
+        self.mproc = FifoServer(sim, 1e9, overhead_us=0.0, name=f"{name}.mproc")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NicPorts {self.name}>"

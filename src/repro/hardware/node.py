@@ -1,0 +1,60 @@
+"""A cluster node: dual CPUs, per-adapter host buses, shared memory.
+
+The testbed nodes are SuperMicro SUPER P4DL6 boards with dual 2.4 GHz
+Xeons.  Each adapter sits on its own bus segment (the ServerWorks GC
+chipset exposes multiple PCI-X segments, and the paper's experiments
+exercise one network at a time), so buses are created per adapter kind
+on demand: PCI-X for InfiniHost and Myrinet, PCI for Quadrics — and PCI
+for InfiniHost in the Fig. 26-28 "IB over PCI" configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.engine import Simulator
+from repro.hardware.bus import (HostBus, make_pci_bus, make_pcie_bus,
+                                make_pcix_bus)
+from repro.hardware.cpu import HostCPU, MemcpyModel
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One SMP node with ``ncores`` CPUs and per-adapter host buses."""
+
+    def __init__(self, sim: Simulator, node_id: int, ncores: int = 2,
+                 memcpy: MemcpyModel | None = None) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.memcpy = memcpy or MemcpyModel()
+        self.cpus: List[HostCPU] = [HostCPU(sim, node_id, c, self.memcpy) for c in range(ncores)]
+        self._buses: Dict[str, HostBus] = {}
+
+    def bus(self, kind: str) -> HostBus:
+        """Get (creating on first use) the bus segment for an adapter.
+
+        ``kind`` is ``"pcix"`` or ``"pci"``, optionally suffixed to keep
+        two adapters on distinct segments (e.g. ``"pcix:iba"``).
+        """
+        b = self._buses.get(kind)
+        if b is None:
+            base = kind.split(":", 1)[0]
+            if base == "pcix":
+                b = make_pcix_bus(self.sim, self.node_id)
+            elif base == "pci":
+                b = make_pci_bus(self.sim, self.node_id)
+            elif base == "pcie":
+                b = make_pcie_bus(self.sim, self.node_id)
+            else:
+                raise ValueError(
+                    f"unknown bus kind {kind!r} (want 'pci', 'pcix' or 'pcie')")
+            self._buses[kind] = b
+        return b
+
+    @property
+    def ncores(self) -> int:
+        return len(self.cpus)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.node_id} cores={self.ncores}>"

@@ -1,0 +1,55 @@
+"""Crossbar switch model.
+
+All three testbed switches (Mellanox InfiniScale, Myrinet-2000, Quadrics
+Elite-16) are full crossbars: any input can reach any output without
+internal blocking, so the only contention point is the *output port*.
+We model each output port as a FIFO bandwidth server at link rate and
+charge a fixed cut-through routing latency per traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.engine import Simulator
+from repro.core.resources import FifoServer
+
+__all__ = ["CrossbarSwitch"]
+
+
+class CrossbarSwitch:
+    """A full-crossbar switch with per-output-port FIFO servers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nports: int,
+        port_bw_bytes_per_us: float,
+        cut_through_us: float,
+        name: str = "switch",
+    ) -> None:
+        if nports < 2:
+            raise ValueError("switch needs at least 2 ports")
+        self.sim = sim
+        self.nports = nports
+        self.port_bw = port_bw_bytes_per_us
+        self.cut_through_us = cut_through_us
+        self.name = name
+        self._out_ports: Dict[int, FifoServer] = {}
+
+    def out_port(self, port: int) -> FifoServer:
+        """The FIFO server for the switch->node link on ``port``."""
+        if not 0 <= port < self.nports:
+            raise ValueError(f"port {port} out of range for {self.nports}-port switch")
+        srv = self._out_ports.get(port)
+        if srv is None:
+            srv = FifoServer(self.sim, self.port_bw, overhead_us=0.0,
+                             name=f"{self.name}.out{port}")
+            self._out_ports[port] = srv
+        return srv
+
+    def total_bytes_switched(self) -> int:
+        return sum(s.bytes_moved for s in self._out_ports.values())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CrossbarSwitch {self.name} {self.nports}p {self.port_bw:.0f}B/us>"

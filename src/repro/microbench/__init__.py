@@ -1,0 +1,37 @@
+"""The paper's extended MPI micro-benchmark suite (§3).
+
+Beyond classic latency/bandwidth, the suite characterises host overhead,
+bi-directional behaviour, computation/communication overlap, buffer
+reuse sensitivity, intra-node (SMP) performance, collective operations
+and MPI memory usage — each function reproduces one figure's
+measurement methodology.
+"""
+
+from repro.microbench.common import PAPER_LAT_SIZES, PAPER_BW_SIZES, Series
+from repro.microbench.latency import measure_latency, measure_bidir_latency
+from repro.microbench.bandwidth import measure_bandwidth, measure_bidir_bandwidth
+from repro.microbench.overhead import measure_host_overhead
+from repro.microbench.overlap import measure_overlap
+from repro.microbench.buffer_reuse import measure_reuse_latency, measure_reuse_bandwidth
+from repro.microbench.intranode import measure_intranode_latency, measure_intranode_bandwidth
+from repro.microbench.collectives import measure_alltoall, measure_allreduce
+from repro.microbench.memusage import measure_memory_usage
+
+__all__ = [
+    "PAPER_LAT_SIZES",
+    "PAPER_BW_SIZES",
+    "Series",
+    "measure_latency",
+    "measure_bidir_latency",
+    "measure_bandwidth",
+    "measure_bidir_bandwidth",
+    "measure_host_overhead",
+    "measure_overlap",
+    "measure_reuse_latency",
+    "measure_reuse_bandwidth",
+    "measure_intranode_latency",
+    "measure_intranode_bandwidth",
+    "measure_alltoall",
+    "measure_allreduce",
+    "measure_memory_usage",
+]

@@ -1,0 +1,67 @@
+"""Shared micro-benchmark machinery: size sweeps, result series, runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.units import KB, MB, bytes_per_us_to_mbps, fmt_size
+from repro.mpi.world import MPIWorld
+
+__all__ = [
+    "PAPER_LAT_SIZES", "PAPER_BW_SIZES", "PAPER_SMALL_SIZES",
+    "Series", "run_pair", "bandwidth_mbps",
+]
+
+#: Fig. 1 x-axis: 4 B .. 16 KB in powers of 4
+PAPER_LAT_SIZES: Sequence[int] = tuple(4 ** k for k in range(1, 8))
+#: Fig. 2 x-axis: 4 B .. 1 MB in powers of 4
+PAPER_BW_SIZES: Sequence[int] = tuple(4 ** k for k in range(1, 11))
+#: Fig. 3 x-axis: 2 B .. 1 KB in powers of 2
+PAPER_SMALL_SIZES: Sequence[int] = tuple(2 ** k for k in range(1, 11))
+
+
+@dataclass
+class Series:
+    """One plotted series: label + (x, y) points."""
+
+    label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    @property
+    def xs(self) -> List[float]:
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [p[1] for p in self.points]
+
+    def at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"no point at x={x} in series {self.label}")
+
+    def fmt(self, xfmt: Callable = fmt_size, yunit: str = "") -> str:
+        rows = [f"  {xfmt(int(x)):>6}  {y:10.2f} {yunit}" for x, y in self.points]
+        return f"{self.label}:\n" + "\n".join(rows)
+
+
+def run_pair(rank_fn, network: str, nprocs: int = 2, ppn: int = 1,
+             args: Sequence = (), net_overrides: Optional[dict] = None,
+             record: bool = False, **world_kw):
+    """Run a benchmark rank function on a fresh world; return rank 0's value."""
+    world = MPIWorld(nprocs, network=network, ppn=ppn, record=record,
+                     net_overrides=net_overrides, **world_kw)
+    res = world.run(rank_fn, args=args)
+    return res.returns[0], res
+
+
+def bandwidth_mbps(nbytes_total: float, elapsed_us: float) -> float:
+    """Paper-convention MB/s (MB = 2^20) from bytes over microseconds."""
+    if elapsed_us <= 0:
+        return 0.0
+    return bytes_per_us_to_mbps(nbytes_total / elapsed_us)

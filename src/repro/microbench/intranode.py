@@ -1,0 +1,43 @@
+"""Intra-node (SMP) micro-benchmarks (Figs. 9, 10).
+
+Two ranks on one dual-CPU node.  MPICH-GM's shared-memory device serves
+all sizes; MVAPICH mixes shared memory (< 16 KB) with HCA loopback;
+MPICH-Quadrics loops everything through the Elan — slower than its own
+inter-node path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.microbench.common import PAPER_BW_SIZES, PAPER_LAT_SIZES, Series, run_pair
+from repro.microbench.latency import pingpong_fn
+from repro.microbench.bandwidth import stream_fn
+
+__all__ = ["measure_intranode_latency", "measure_intranode_bandwidth"]
+
+
+def measure_intranode_latency(network: str, sizes: Sequence[int] = PAPER_LAT_SIZES,
+                              iters: int = 30, warmup: int = 5,
+                              net_overrides: Optional[dict] = None) -> Series:
+    """Fig. 9: ping-pong latency between two ranks on one node."""
+    series = Series(network)
+    for n in sizes:
+        lat, _ = run_pair(pingpong_fn, network, nprocs=2, ppn=2,
+                          args=(n, iters, warmup), net_overrides=net_overrides)
+        series.add(n, lat)
+    return series
+
+
+def measure_intranode_bandwidth(network: str, sizes: Sequence[int] = PAPER_BW_SIZES,
+                                window: int = 16, rounds: int = 12,
+                                warmup_rounds: int = 3,
+                                net_overrides: Optional[dict] = None) -> Series:
+    """Fig. 10: windowed stream bandwidth between two ranks on one node."""
+    series = Series(network)
+    for n in sizes:
+        bw, _ = run_pair(stream_fn, network, nprocs=2, ppn=2,
+                         args=(n, window, rounds, warmup_rounds),
+                         net_overrides=net_overrides)
+        series.add(n, bw)
+    return series

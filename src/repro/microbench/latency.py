@@ -1,0 +1,74 @@
+"""Latency micro-benchmarks (Figs. 1, 4, 26).
+
+Uni-directional latency is the classic ping-pong: round-trip time over
+many iterations, halved.  The bi-directional test has both sides send
+simultaneously before receiving, stressing both directions of the NIC,
+bus and wire at once (§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.microbench.common import PAPER_LAT_SIZES, Series, run_pair
+
+__all__ = ["measure_latency", "measure_bidir_latency", "pingpong_fn", "pingping_fn"]
+
+
+def pingpong_fn(comm, nbytes: int, iters: int, warmup: int):
+    """Two-rank ping-pong; rank 0 returns the one-way latency in µs."""
+    buf = comm.alloc(nbytes)
+    total = warmup + iters
+    t0 = 0.0
+    for i in range(total):
+        if i == warmup:
+            t0 = comm.sim.now
+        if comm.rank == 0:
+            yield from comm.send(buf, dest=1, tag=0)
+            yield from comm.recv(buf, source=1, tag=1)
+        else:
+            yield from comm.recv(buf, source=0, tag=0)
+            yield from comm.send(buf, dest=0, tag=1)
+    if comm.rank == 0:
+        return (comm.sim.now - t0) / (2 * iters)
+
+
+def pingping_fn(comm, nbytes: int, iters: int, warmup: int):
+    """Bi-directional latency: both ranks isend, then recv, each step."""
+    sbuf = comm.alloc(nbytes)
+    rbuf = comm.alloc(nbytes)
+    other = 1 - comm.rank
+    total = warmup + iters
+    t0 = 0.0
+    for i in range(total):
+        if i == warmup:
+            t0 = comm.sim.now
+        sreq = yield from comm.isend(sbuf, dest=other, tag=0)
+        rreq = yield from comm.irecv(rbuf, source=other, tag=0)
+        yield from comm.waitall([sreq, rreq])
+    if comm.rank == 0:
+        return (comm.sim.now - t0) / iters
+
+
+def measure_latency(network: str, sizes: Sequence[int] = PAPER_LAT_SIZES,
+                    iters: int = 30, warmup: int = 5,
+                    net_overrides: Optional[dict] = None) -> Series:
+    """Fig. 1 (and Fig. 26 with ``net_overrides={'bus_kind': 'pci'}``)."""
+    series = Series(network)
+    for n in sizes:
+        lat, _ = run_pair(pingpong_fn, network, args=(n, iters, warmup),
+                          net_overrides=net_overrides)
+        series.add(n, lat)
+    return series
+
+
+def measure_bidir_latency(network: str, sizes: Sequence[int] = PAPER_LAT_SIZES,
+                          iters: int = 30, warmup: int = 5,
+                          net_overrides: Optional[dict] = None) -> Series:
+    """Fig. 4."""
+    series = Series(network)
+    for n in sizes:
+        lat, _ = run_pair(pingping_fn, network, args=(n, iters, warmup),
+                          net_overrides=net_overrides)
+        series.add(n, lat)
+    return series

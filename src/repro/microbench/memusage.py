@@ -1,0 +1,35 @@
+"""MPI memory usage micro-benchmark (Fig. 13).
+
+The paper runs a trivial barrier program on 2..8 nodes and reads each
+process's resident memory from /proc.  Our MPI devices account their
+modelled footprints (per-connection RC resources for MVAPICH, flat
+pools for GM and Tports), so the measurement is a direct readout after
+running the same barrier program.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.microbench.common import Series
+from repro.mpi.world import MPIWorld
+
+__all__ = ["measure_memory_usage", "MEM_NODE_COUNTS"]
+
+MEM_NODE_COUNTS: Sequence[int] = tuple(range(2, 9))
+
+
+def _barrier_program(comm):
+    yield from comm.barrier()
+
+
+def measure_memory_usage(network: str, node_counts: Sequence[int] = MEM_NODE_COUNTS,
+                         net_overrides: Optional[dict] = None) -> Series:
+    """Per-process MPI memory (MB) vs. number of nodes."""
+    series = Series(network)
+    for n in node_counts:
+        world = MPIWorld(n, network=network, record=False,
+                         net_overrides=net_overrides)
+        world.run(_barrier_program)
+        series.add(n, world.memory_usage_mb(0))
+    return series

@@ -1,0 +1,48 @@
+"""Host overhead micro-benchmark (Fig. 3).
+
+The paper measures "the time spent in communication" on the host CPUs
+during the latency test, summing sender and receiver sides.  Our CPUs
+account MPI-library time separately from compute time, so the overhead
+is read directly from the accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.microbench.common import PAPER_SMALL_SIZES, Series
+from repro.mpi.world import MPIWorld
+
+__all__ = ["measure_host_overhead"]
+
+
+def _pingpong(comm, nbytes: int, iters: int, warmup: int, marks: dict):
+    buf = comm.alloc(nbytes)
+    total = warmup + iters
+    for i in range(total):
+        if i == warmup and comm.rank == 0:
+            marks["t0_comm"] = (comm.cpu.comm_time_us,
+                                comm.ep.world.comms[1].cpu.comm_time_us)
+        if comm.rank == 0:
+            yield from comm.send(buf, dest=1, tag=0)
+            yield from comm.recv(buf, source=1, tag=1)
+        else:
+            yield from comm.recv(buf, source=0, tag=0)
+            yield from comm.send(buf, dest=0, tag=1)
+
+
+def measure_host_overhead(network: str, sizes: Sequence[int] = PAPER_SMALL_SIZES,
+                          iters: int = 30, warmup: int = 5,
+                          net_overrides: Optional[dict] = None) -> Series:
+    """Per-message host CPU time, sender + receiver sides summed (µs)."""
+    series = Series(network)
+    for n in sizes:
+        world = MPIWorld(2, network=network, record=False, net_overrides=net_overrides)
+        marks: dict = {}
+        world.run(_pingpong, args=(n, iters, warmup, marks))
+        c0 = world.comms[0].cpu.comm_time_us - marks["t0_comm"][0]
+        c1 = world.comms[1].cpu.comm_time_us - marks["t0_comm"][1]
+        # per one-way message, sender + receiver sides combined (each
+        # round trip is two one-way messages)
+        series.add(n, (c0 + c1) / (2 * iters))
+    return series

@@ -1,0 +1,42 @@
+"""An MPICH-like MPI implementation over the three simulated fabrics.
+
+Architecture mirrors MPICH 1.2.x (§2): a communicator / request layer on
+top of an ADI2-style *device*, one device per interconnect:
+
+- :class:`~repro.mpi.devices.mvapich.MvapichDevice` — MVAPICH 0.9.1
+  style: RDMA writes for everything, eager copies through per-connection
+  RDMA rings below 2 KB, RTS/CTS/RDMA rendezvous above, host-driven
+  progress, shared-memory intra-node channel below 16 KB with HCA
+  loopback above.
+- :class:`~repro.mpi.devices.mpich_gm.MpichGmDevice` — MPICH-GM style:
+  Channel Interface on GM send/receive for small and control messages
+  (bounce-buffer copies up to 16 KB), directed send rendezvous above,
+  host-driven progress, shared memory for all intra-node sizes.
+- :class:`~repro.mpi.devices.mpich_quadrics.MpichQuadricsDevice` —
+  MPICH-over-Tports style: NIC-resident matching and rendezvous (the
+  host only pays library call costs), 16-deep transmit queue, *no*
+  shared-memory device (intra-node goes through the Elan).
+
+Everything user-facing is a generator coroutine: MPI calls are invoked
+as ``yield from comm.send(...)`` inside rank functions run by
+:func:`~repro.mpi.world.mpi_run`.
+"""
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG, MAX, MIN, PROD, SUM
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+from repro.mpi.world import MPIWorld, WorldResult, mpi_run
+
+__all__ = [
+    "mpi_run",
+    "MPIWorld",
+    "WorldResult",
+    "Request",
+    "Status",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+]

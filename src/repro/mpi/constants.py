@@ -1,0 +1,35 @@
+"""MPI constants: wildcards and reduction operations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "SUM", "PROD", "MAX", "MIN", "LAND", "BAND", "Op"]
+
+#: match any sender
+ANY_SOURCE = -1
+#: match any tag
+ANY_TAG = -1
+
+
+class Op:
+    """A reduction operation with a numpy implementation."""
+
+    def __init__(self, name: str, fn) -> None:
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, a, b):
+        """Reduce two arrays (or scalars) elementwise."""
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Op {self.name}>"
+
+
+SUM = Op("sum", np.add)
+PROD = Op("prod", np.multiply)
+MAX = Op("max", np.maximum)
+MIN = Op("min", np.minimum)
+LAND = Op("land", np.logical_and)
+BAND = Op("band", np.bitwise_and)

@@ -1,0 +1,26 @@
+"""ADI2-style MPI devices, one per interconnect (plus shared memory)."""
+
+from repro.mpi.devices.base import MpiDevice, HostProgressDevice
+from repro.mpi.devices.mvapich import MvapichDevice
+from repro.mpi.devices.mpich_gm import MpichGmDevice
+from repro.mpi.devices.mpich_quadrics import MpichQuadricsDevice
+from repro.mpi.devices.shmem import ShmemChannel
+
+__all__ = [
+    "MpiDevice",
+    "HostProgressDevice",
+    "MvapichDevice",
+    "MpichGmDevice",
+    "MpichQuadricsDevice",
+    "ShmemChannel",
+    "device_class_for",
+]
+
+
+def device_class_for(network_kind: str):
+    """The MPI device class matching a fabric kind."""
+    return {
+        "infiniband": MvapichDevice,
+        "myrinet": MpichGmDevice,
+        "quadrics": MpichQuadricsDevice,
+    }[network_kind]

@@ -1,0 +1,210 @@
+"""MPICH-GM-style MPI device over the GM layer.
+
+Structure follows the MPICH-over-GM port (§2.2): the Channel Interface
+retargeted to GM.
+
+- **eager** (<= 16 KB): sender copies into a pre-registered GM bounce
+  buffer and ``gm_send``s it; the LANai deposits it in one of the
+  receiver's provided buffers; the receiver's progress engine matches
+  and copies out.  Neither side registers user memory — which is why
+  Myrinet's latency/bandwidth are insensitive to buffer reuse until
+  16 KB (Figs. 7, 8).
+- **rendezvous** (> 16 KB): RTS via gm_send; the receiver registers its
+  buffer and returns a CTS with the target address; the sender registers
+  and issues a GM *directed send* straight into the user buffer.
+- **intra-node**: shared memory for every size (Fig. 9's 1.3 µs).
+"""
+
+from __future__ import annotations
+
+from repro.mpi.devices.base import HostProgressDevice
+from repro.mpi.devices.shmem import ShmemMixin, fill_buffer, payload_of
+from repro.mpi.matching import Envelope
+from repro.mpi.request import Request
+from repro.networks.myrinet.gm import GmRecvEvent
+
+__all__ = ["MpichGmDevice"]
+
+
+class MpichGmDevice(ShmemMixin, HostProgressDevice):
+    """The MPI port used for Myrinet."""
+
+    # -- protocol thresholds ----------------------------------------------
+    #: eager/rendezvous switch (buffer-reuse sensitivity starts here)
+    EAGER_LIMIT = 16 * 1024
+
+    # -- host costs (µs) — calibrated against Figs. 1 & 3 -----------------
+    # GM's host path is famously thin: ~0.8 µs total overhead (Fig. 3).
+    O_SEND_POST = 0.22
+    O_RECV_POST = 0.14
+    O_MATCH = 0.14
+    O_RNDV = 0.35
+    O_FIN = 0.15
+    O_POLL = 0.12
+
+    # -- intra-node (Fig. 9: ~1.3 µs small-message latency) -----------------
+    O_SHM_SEND = 0.42
+    O_SHM_RECV = 0.38
+    #: host cost of retiring a GM send-completion callback
+    O_SEND_CB = 0.16
+
+    # -- memory model (Fig. 13: flat, connectionless) -----------------------
+    MEM_BASE_MB = 9.0
+    MEM_PER_CONN_MB = 0.05
+
+    #: receive buffers provided to the NIC at startup, per size class
+    PROVIDED_PER_CLASS = 24
+
+    #: MPICH 1.2.5 (the GM port's base) ships recursive-doubling
+    #: allreduce; the 1.2.2/1.2.4 bases of the other two ports still
+    #: compose reduce+bcast — visible in Fig. 12.
+    ALLREDUCE_ALGO = "rdbl"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.gm = self.fabric.gm(self.rank)
+        self.eager_limit = int(self.options.get("eager_limit", self.EAGER_LIMIT))
+        self.use_shmem = bool(self.options.get("use_shmem", True))
+        # a ladder of size classes covering everything the eager path
+        # (and its control messages) can carry
+        top = self.gm.size_class(self.eager_limit)
+        for klass in range(5, top + 1):
+            for _ in range(self.PROVIDED_PER_CLASS):
+                self.gm.provide_receive_buffer(self.space.alloc(1 << klass))
+
+    # ------------------------------------------------------------------
+    # sends
+    # ------------------------------------------------------------------
+    def isend(self, req: Request):
+        if (self.use_shmem and self.fabric.same_node(self.rank, req.peer)
+                and req.peer != self.rank):
+            yield from self._shmem_isend(req)
+            return
+        self._record_transfer(req.peer, req.nbytes)
+        # honour GM send-token flow control
+        while self.gm._inflight_sends >= self.gm.send_tokens:
+            yield self.cpu.comm(0.5)
+        seq = self._next_seq(req.peer, req.ctx)
+        if req.nbytes <= self.eager_limit:
+            yield from self._eager_isend(req, seq)
+        else:
+            yield from self._rndv_isend(req, seq)
+
+    def _eager_isend(self, req: Request, seq: int = 0):
+        cpu = self.cpu
+        yield cpu.comm(self.O_SEND_POST)
+        # copy through the pre-registered bounce buffer
+        yield cpu.comm(cpu.memcpy.copy_time(req.nbytes))
+        local = self.gm.send_with_callback(
+            req.peer, req.buf, tag=req.tag, payload=payload_of(req.buf),
+            meta={"mpi": "eager", "ctx": req.ctx, "mseq": seq},
+        )
+        # GM reports send completion through a callback the host must
+        # retire from its receive loop
+        local.add_callback(lambda _e: self._post_inbox(("scb", None)))
+        req.complete()  # buffered
+
+    def _rndv_isend(self, req: Request, seq: int = 0):
+        cpu = self.cpu
+        yield cpu.comm(self.O_SEND_POST)
+        rts = self.space.alloc(32)  # tiny control message
+        self.gm.send_with_callback(
+            req.peer, rts, tag=req.tag,
+            meta={"mpi": "rts", "ctx": req.ctx, "data_nbytes": req.nbytes,
+                  "sreq": req, "mseq": seq},
+        )
+        self.space.free(rts)
+
+    # ------------------------------------------------------------------
+    # receives
+    # ------------------------------------------------------------------
+    def irecv(self, req: Request):
+        yield self.cpu.comm(self.O_RECV_POST)
+        env = self.match.post_recv(req)
+        if env is None:
+            return
+        if env.kind in ("eager", "shm"):
+            yield from self._complete_eager_match(req, env)
+        elif env.kind == "rts":
+            yield from self._rndv_reply(req, env)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown unexpected envelope kind {env.kind}")
+
+    def _complete_eager_match(self, req: Request, env: Envelope):
+        cpu = self.cpu
+        yield cpu.comm(cpu.memcpy.copy_time(env.nbytes))
+        fill_buffer(req.buf, env.payload)
+        req.complete(self._recv_status(env.src, env.tag, env.nbytes))
+
+    def _rndv_reply(self, req: Request, env: Envelope):
+        cpu = self.cpu
+        yield cpu.comm(self.O_RNDV)
+        yield cpu.comm(self.gm.register(req.buf))
+        cts = self.space.alloc(32)
+        self.gm.send_with_callback(
+            env.src, cts, tag=env.tag,
+            meta={"mpi": "cts", "ctx": env.ctx, "sreq": env.meta["sreq"],
+                  "rreq": req, "remote_buf": req.buf},
+        )
+        self.space.free(cts)
+
+    # ------------------------------------------------------------------
+    # progress engine
+    # ------------------------------------------------------------------
+    def _match_eager(self, env: Envelope):
+        req = self.match.arrive(env)
+        if req is not None:
+            yield from self._complete_eager_match(req, env)
+
+    def _match_rts(self, env: Envelope):
+        req = self.match.arrive(env)
+        if req is not None:
+            yield from self._rndv_reply(req, env)
+
+    def _handle(self, item):
+        cpu = self.cpu
+        if isinstance(item, Envelope):  # shared-memory arrival
+            yield from self._arrive_in_order(item, self._handle_shm)
+            return
+        if isinstance(item, tuple) and item[0] == "sfin":
+            yield cpu.comm(self.O_FIN)
+            item[1].complete()
+            return
+        if isinstance(item, tuple) and item[0] == "scb":
+            yield cpu.comm(self.O_SEND_CB)
+            return
+        # a GM packet: let the port do its NIC-side buffer accounting
+        ev: GmRecvEvent = self.gm.nic_accept(item)
+        if ev.kind == "recv" and ev.buffer is not None:
+            self.gm.provide_receive_buffer(ev.buffer)  # replenish its class
+        mpi_kind = ev.meta.get("mpi")
+        if mpi_kind == "eager":
+            yield cpu.comm(self.O_MATCH)
+            env = Envelope("eager", ev.src_rank, ev.tag, ev.meta["ctx"],
+                           ev.nbytes, payload=item.payload,
+                           seq=ev.meta.get("mseq", 0))
+            yield from self._arrive_in_order(env, self._match_eager)
+        elif mpi_kind == "rts":
+            yield cpu.comm(self.O_MATCH)
+            env = Envelope("rts", ev.src_rank, ev.tag, ev.meta["ctx"],
+                           ev.meta["data_nbytes"], meta={"sreq": ev.meta["sreq"]},
+                           seq=ev.meta.get("mseq", 0))
+            yield from self._arrive_in_order(env, self._match_rts)
+        elif mpi_kind == "cts":
+            yield cpu.comm(self.O_RNDV)
+            sreq: Request = ev.meta["sreq"]
+            yield cpu.comm(self.gm.register(sreq.buf))
+            local = self.gm.directed_send(
+                ev.src_rank, sreq.buf, ev.meta["remote_buf"],
+                payload=payload_of(sreq.buf),
+                meta={"mpi": "rdata", "rreq": ev.meta["rreq"],
+                      "tag": sreq.tag, "ctx": sreq.ctx},
+            )
+            local.add_callback(lambda _e: self._post_inbox(("sfin", sreq)))
+        elif mpi_kind == "rdata":
+            yield cpu.comm(self.O_FIN)
+            rreq: Request = ev.meta["rreq"]
+            fill_buffer(rreq.buf, item.payload)
+            rreq.complete(self._recv_status(ev.src_rank, ev.meta["tag"], ev.nbytes))
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"MPICH-GM progress got unknown item {item!r}")

@@ -1,0 +1,309 @@
+"""MVAPICH-style MPI device over the VAPI verbs layer.
+
+Protocol structure follows [Liu et al., ICS'03] / MVAPICH 0.9.1 (§2.1):
+
+- **eager** (< 2 KB): the sender copies the payload into a
+  pre-registered per-connection RDMA ring and RDMA-writes it into the
+  receiver's ring; the receiver's progress engine polls the ring,
+  matches and copies out.  Send requests complete locally (buffered).
+- **rendezvous** (>= 2 KB): RTS -> (receive matched; receiver registers
+  its buffer) -> CTS carrying the target address -> sender registers and
+  RDMA-writes straight into the user buffer -> completion at both ends.
+  Registration goes through the HCA's pin-down cache, so cold buffers
+  pay the full pinning cost (Figs. 7, 8).
+- **intra-node**: shared memory below 16 KB, HCA loopback above
+  (bounded at ~half the PCI-X ceiling, §3.6).
+
+The bandwidth dip at exactly 2 KB in Fig. 2 is this eager->rendezvous
+switch; Fig. 13's per-node memory growth is the per-RC-connection ring
+allocation modelled by ``MEM_PER_CONN_MB``.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.devices.base import HostProgressDevice
+from repro.mpi.devices.shmem import ShmemMixin, fill_buffer, payload_of
+from repro.mpi.matching import Envelope
+from repro.mpi.request import Request
+from repro.networks.base import Packet
+
+__all__ = ["MvapichDevice"]
+
+
+class MvapichDevice(ShmemMixin, HostProgressDevice):
+    """The MPI port used for InfiniBand."""
+
+    # -- protocol thresholds ------------------------------------------------
+    #: eager/rendezvous switch (Fig. 2's 2 KB dip)
+    EAGER_LIMIT = 2048
+    #: intra-node shared-memory limit; larger goes through the HCA
+    SHMEM_LIMIT = 16 * 1024
+
+    # -- host costs (µs) — calibrated against Figs. 1 & 3 ----------------
+    O_SEND_POST = 0.62   # descriptor build + doorbell
+    O_RECV_POST = 0.30
+    O_MATCH = 0.28       # envelope match in the progress engine
+    O_RNDV = 0.45        # RTS/CTS handling
+    O_FIN = 0.22
+    O_POLL = 0.22
+
+    # -- intra-node (Fig. 9: ~1.6 µs small-message latency) ---------------
+    O_SHM_SEND = 0.52
+    O_SHM_RECV = 0.47
+
+    # -- memory model (Fig. 13) --------------------------------------------
+    MEM_BASE_MB = 15.0
+    MEM_PER_CONN_MB = 5.7
+
+    #: host cost of initiating / accepting an on-demand connection
+    O_CONN_REQ = 45.0
+    O_CONN_ACC = 35.0
+    #: host cost of polling an RDMA collective flag slot
+    O_SLOT = 0.12
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.vapi = self.fabric.vapi(self.rank)
+        #: lazy QP setup, the [Wu et al. 02] fix for Fig. 13's growth
+        self.on_demand = bool(self.options.get("on_demand_connections"))
+        #: RDMA-based collectives, the [Kini et al. 03] direction §3.7
+        self.rdma_coll = bool(self.options.get("rdma_collectives"))
+        #: ablation knobs (defaults reproduce MVAPICH 0.9.1)
+        self.eager_limit = int(self.options.get("eager_limit", self.EAGER_LIMIT))
+        self.use_shmem = bool(self.options.get("use_shmem", True))
+        self.pin_cache_enabled = bool(self.options.get("pin_down_cache", True))
+        self._conn_pending = {}   # peer -> Event (handshake in flight)
+        self._slots = {}          # slot key -> arrival count
+
+    # ------------------------------------------------------------------
+    # connection setup (static all-to-all like MVAPICH 0.9.1, or lazy
+    # on-demand connection management)
+    # ------------------------------------------------------------------
+    def init_connections(self, ranks) -> None:
+        if self.on_demand:
+            return
+        for r in ranks:
+            if r != self.rank:
+                self.vapi.connect(r)
+
+    def _ensure_connected(self, peer: int):
+        """On-demand RC setup: request/reply handshake with the peer.
+
+        The requester stalls for the round trip (plus however long the
+        peer takes to run its progress engine) — the latency cost that
+        static all-to-all setup avoids by paying memory instead.
+        """
+        if not self.on_demand or peer == self.rank or peer in self.vapi.qps:
+            return
+        pending = self._conn_pending.get(peer)
+        if pending is None:
+            yield self.cpu.comm(self.O_CONN_REQ)
+            pending = self.sim.event(f"ib.connect[{self.rank}->{peer}]")
+            self._conn_pending[peer] = pending
+            req = Packet(kind="ib.conn_req", src_rank=self.rank, dst_rank=peer,
+                         nbytes=64, meta={})
+            self.fabric.send_packet(req)
+        # keep the progress engine running while the handshake is in
+        # flight — the reply (and any crossing request) arrives through
+        # our own inbox
+        while not pending.triggered:
+            worked = yield from self._drain()
+            if pending.triggered:
+                break
+            if not worked:
+                yield self.gate.wait()
+        self.vapi.connect(peer)
+
+    def memory_usage_mb(self, npeers: int = None) -> float:  # type: ignore[override]
+        # with on-demand management only the QPs actually created are
+        # backed by rings — the point of [Wu et al. 02]
+        if self.on_demand or npeers is None:
+            peers = self.vapi.nconnections
+        else:
+            peers = npeers
+        return self.MEM_BASE_MB + self.MEM_PER_CONN_MB * peers
+
+    # ------------------------------------------------------------------
+    # sends
+    # ------------------------------------------------------------------
+    def isend(self, req: Request):
+        if (self.use_shmem
+                and self.fabric.same_node(self.rank, req.peer)
+                and req.peer != self.rank
+                and req.nbytes < self.SHMEM_LIMIT):
+            yield from self._shmem_isend(req)
+            return
+        yield from self._ensure_connected(req.peer)
+        self._record_transfer(req.peer, req.nbytes)
+        seq = self._next_seq(req.peer, req.ctx)
+        if req.nbytes < self.eager_limit:
+            yield from self._eager_isend(req, seq)
+        else:
+            yield from self._rndv_isend(req, seq)
+
+    def _eager_isend(self, req: Request, seq: int = 0):
+        cpu = self.cpu
+        yield cpu.comm(self.O_SEND_POST)
+        # copy into the pre-registered RDMA ring slot (hot in cache)
+        yield cpu.comm(cpu.memcpy.copy_time(req.nbytes))
+        pkt = Packet(
+            kind="ib.ring", src_rank=self.rank, dst_rank=req.peer, nbytes=req.nbytes,
+            meta={"tag": req.tag, "ctx": req.ctx, "mseq": seq},
+            payload=payload_of(req.buf),
+        )
+        self.fabric.send_packet(pkt)
+        req.complete()  # buffered: user buffer reusable immediately
+
+    def _reg_cost(self, buf) -> float:
+        """Registration cost; without the pin-down cache every message
+        pays the full pin/unpin price (the [Tezuka et al. 98] baseline)."""
+        if self.pin_cache_enabled:
+            _mr, cost = self.vapi.reg_mr(buf)
+            return cost
+        pc = self.vapi.pin_cache
+        return (pc.register_base_us + buf.npages * pc.register_page_us
+                + buf.npages * pc.deregister_page_us)
+
+    def _rndv_isend(self, req: Request, seq: int = 0):
+        cpu = self.cpu
+        yield cpu.comm(self.O_SEND_POST)
+        # register the send buffer up front (MVAPICH does this at RTS time)
+        yield cpu.comm(self._reg_cost(req.buf))
+        rts = Packet(
+            kind="ib.rts", src_rank=self.rank, dst_rank=req.peer, nbytes=0,
+            meta={"tag": req.tag, "ctx": req.ctx, "data_nbytes": req.nbytes,
+                  "sreq": req, "mseq": seq},
+        )
+        self.fabric.send_packet(rts)
+        # request completes when the FIN (local RDMA completion) drains
+
+    # ------------------------------------------------------------------
+    # receives
+    # ------------------------------------------------------------------
+    def irecv(self, req: Request):
+        yield self.cpu.comm(self.O_RECV_POST)
+        env = self.match.post_recv(req)
+        if env is None:
+            return
+        if env.kind in ("eager", "shm"):
+            yield from self._complete_eager_match(req, env)
+        elif env.kind == "rts":
+            yield from self._rndv_reply(req, env)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown unexpected envelope kind {env.kind}")
+
+    def _complete_eager_match(self, req: Request, env: Envelope):
+        cpu = self.cpu
+        yield cpu.comm(cpu.memcpy.copy_time(env.nbytes))
+        fill_buffer(req.buf, env.payload)
+        req.complete(self._recv_status(env.src, env.tag, env.nbytes))
+
+    def _rndv_reply(self, req: Request, env: Envelope):
+        cpu = self.cpu
+        yield cpu.comm(self.O_RNDV)
+        yield cpu.comm(self._reg_cost(req.buf))
+        cts = Packet(
+            kind="ib.cts", src_rank=self.rank, dst_rank=env.src, nbytes=0,
+            meta={"sreq": env.meta["sreq"], "rreq": req, "tag": env.tag,
+                  "ctx": env.ctx, "data_nbytes": env.nbytes},
+        )
+        self.fabric.send_packet(cts)
+
+    # ------------------------------------------------------------------
+    # progress engine
+    # ------------------------------------------------------------------
+    def _match_eager(self, env: Envelope):
+        req = self.match.arrive(env)
+        if req is not None:
+            yield from self._complete_eager_match(req, env)
+
+    def _match_rts(self, env: Envelope):
+        req = self.match.arrive(env)
+        if req is not None:
+            yield from self._rndv_reply(req, env)
+
+    def _handle(self, item):
+        cpu = self.cpu
+        if isinstance(item, Envelope):  # shared-memory arrival
+            yield from self._arrive_in_order(item, self._handle_shm)
+            return
+        if isinstance(item, tuple) and item[0] == "sfin":
+            yield cpu.comm(self.O_FIN)
+            self.vapi.send_cq.poll(64)  # retire CQEs alongside the FIN
+            item[1].complete()
+            return
+        pkt: Packet = item
+        if pkt.kind == "ib.ring":
+            yield cpu.comm(self.O_MATCH)
+            env = Envelope("eager", pkt.src_rank, pkt.meta["tag"], pkt.meta["ctx"],
+                           pkt.nbytes, payload=pkt.payload,
+                           seq=pkt.meta.get("mseq", 0))
+            yield from self._arrive_in_order(env, self._match_eager)
+        elif pkt.kind == "ib.rts":
+            yield cpu.comm(self.O_MATCH)
+            env = Envelope("rts", pkt.src_rank, pkt.meta["tag"], pkt.meta["ctx"],
+                           pkt.meta["data_nbytes"], meta={"sreq": pkt.meta["sreq"]},
+                           seq=pkt.meta.get("mseq", 0))
+            yield from self._arrive_in_order(env, self._match_rts)
+        elif pkt.kind == "ib.cts":
+            yield cpu.comm(self.O_RNDV)
+            sreq: Request = pkt.meta["sreq"]
+            qp = self.vapi.connect(pkt.src_rank)
+            local = qp.rdma_write(
+                sreq.buf, pkt.meta["rreq"].buf, wr_id=id(sreq),
+                payload=payload_of(sreq.buf),
+                meta={"rreq": pkt.meta["rreq"], "tag": sreq.tag,
+                      "ctx": sreq.ctx, "mpi_data": True},
+            )
+            local.add_callback(lambda ev: self._post_inbox(("sfin", sreq)))
+        elif pkt.kind == "ib.rdma" and pkt.meta.get("mpi_data"):
+            yield cpu.comm(self.O_FIN)
+            rreq: Request = pkt.meta["rreq"]
+            fill_buffer(rreq.buf, pkt.payload)
+            rreq.complete(self._recv_status(pkt.src_rank, pkt.meta["tag"], pkt.nbytes))
+        elif pkt.kind == "ib.conn_req":
+            yield cpu.comm(self.O_CONN_ACC)
+            self.vapi.connect(pkt.src_rank)
+            rep = Packet(kind="ib.conn_rep", src_rank=self.rank,
+                         dst_rank=pkt.src_rank, nbytes=64, meta={})
+            self.fabric.send_packet(rep)
+        elif pkt.kind == "ib.conn_rep":
+            yield cpu.comm(self.O_FIN)
+            pending = self._conn_pending.pop(pkt.src_rank, None)
+            if pending is not None and not pending.triggered:
+                pending.succeed()
+        elif pkt.kind == "ib.slot":
+            # RDMA write into a pre-registered, pre-polled flag slot:
+            # no matching, no unexpected queue — just a memory poll
+            yield cpu.comm(self.O_SLOT)
+            key = pkt.meta["slot"]
+            self._slots[key] = self._slots.get(key, 0) + 1
+            if pkt.payload is not None:
+                self._slots[(key, "data")] = pkt.payload
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"MVAPICH progress got unknown item {item!r}")
+
+    # ------------------------------------------------------------------
+    # RDMA-based collective primitives ([Kini et al. 03]: direct RDMA
+    # writes into pre-registered slots, skipping tag matching entirely)
+    # ------------------------------------------------------------------
+    def rdma_signal(self, dst: int, slot, nbytes: int = 0, payload=None):
+        """Fire an RDMA flag (optionally with a small payload) at dst."""
+        yield from self._ensure_connected(dst)
+        yield self.cpu.comm(0.45)  # descriptor + doorbell, no copy path
+        pkt = Packet(kind="ib.slot", src_rank=self.rank, dst_rank=dst,
+                     nbytes=max(nbytes, 8), meta={"slot": slot}, payload=payload)
+        self.fabric.send_packet(pkt)
+        self._record_transfer(dst, max(nbytes, 8))
+
+    def rdma_wait_signal(self, slot):
+        """Poll until the flag for ``slot`` has been written; returns the
+        payload if one was carried."""
+        while self._slots.get(slot, 0) < 1:
+            worked = yield from self._drain()
+            if self._slots.get(slot, 0) >= 1:
+                break
+            if not worked:
+                yield self.gate.wait()
+        self._slots[slot] -= 1
+        return self._slots.pop((slot, "data"), None)

@@ -1,0 +1,106 @@
+"""Host-side MPI message matching: posted-receive and unexpected queues.
+
+Implements the classic MPICH matching discipline: receives match
+messages by ``(context, source, tag)`` with wildcards on source and tag;
+among candidates, arrival order wins (which, combined with in-order
+per-pair delivery from the fabrics, yields MPI's non-overtaking
+guarantee).  Unexpected entries may be eager messages (payload already
+staged) or rendezvous RTS envelopes (data still at the sender).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.request import Request
+
+__all__ = ["Envelope", "MatchEngine"]
+
+
+@dataclass
+class Envelope:
+    """An arrived-but-unmatched message description.
+
+    ``seq`` is the per-(source, context) send sequence number; devices
+    that deliver one source's traffic over several channels (shared
+    memory vs the NIC) use it to re-establish MPI's non-overtaking
+    order before matching.
+    """
+
+    kind: str                  # 'eager' | 'rts' | 'shm'
+    src: int
+    tag: int
+    ctx: int
+    nbytes: int
+    payload: Any = None        # staged bytes for eager/shm
+    meta: dict = field(default_factory=dict)
+    seq: int = 0               # 0 = unordered (single-channel traffic)
+
+
+def _matches(ctx: int, src_sel: int, tag_sel: int, env_src: int, env_tag: int, env_ctx: int) -> bool:
+    if ctx != env_ctx:
+        return False
+    if src_sel != ANY_SOURCE and src_sel != env_src:
+        return False
+    if tag_sel != ANY_TAG and tag_sel != env_tag:
+        return False
+    return True
+
+
+class MatchEngine:
+    """Per-rank posted/unexpected queues."""
+
+    def __init__(self) -> None:
+        self.posted: List[Request] = []
+        self.unexpected: List[Envelope] = []
+        self.max_unexpected = 0
+
+    # -- receive side ------------------------------------------------------
+    def post_recv(self, req: Request) -> Optional[Envelope]:
+        """Try to satisfy ``req`` from the unexpected queue.
+
+        Returns the matched envelope (removed from the queue) or None,
+        in which case the request is now posted.
+        """
+        for i, env in enumerate(self.unexpected):
+            if _matches(req.ctx, req.peer, req.tag, env.src, env.tag, env.ctx):
+                del self.unexpected[i]
+                return env
+        self.posted.append(req)
+        return None
+
+    def cancel_recv(self, req: Request) -> bool:
+        try:
+            self.posted.remove(req)
+            return True
+        except ValueError:
+            return False
+
+    # -- arrival side ---------------------------------------------------------
+    def arrive(self, env: Envelope) -> Optional[Request]:
+        """Match an arriving envelope against posted receives.
+
+        Returns the matched request (removed from the posted queue) or
+        None, in which case the envelope was queued as unexpected.
+        """
+        for i, req in enumerate(self.posted):
+            if _matches(req.ctx, req.peer, req.tag, env.src, env.tag, env.ctx):
+                del self.posted[i]
+                return req
+        self.unexpected.append(env)
+        if len(self.unexpected) > self.max_unexpected:
+            self.max_unexpected = len(self.unexpected)
+        return None
+
+    # -- probe support -----------------------------------------------------------
+    def peek(self, ctx: int, src_sel: int, tag_sel: int) -> Optional[Envelope]:
+        """Find (without removing) the first matching unexpected envelope."""
+        for env in self.unexpected:
+            if _matches(ctx, src_sel, tag_sel, env.src, env.tag, env.ctx):
+                return env
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<MatchEngine posted={len(self.posted)} unexpected={len(self.unexpected)}>"

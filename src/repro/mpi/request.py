@@ -1,0 +1,106 @@
+"""Non-blocking communication requests.
+
+A :class:`Request` is created by ``isend``/``irecv`` and completed by the
+device (or, for NIC-progressed networks, by the NIC callbacks).  The
+``done`` event lets blocked waiters resume; ``completed`` is the cheap
+flag progress loops poll.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import Event, Simulator
+from repro.mpi.status import Status
+
+__all__ = ["Request", "PersistentRequest"]
+
+
+class Request:
+    """One outstanding point-to-point operation."""
+
+    __slots__ = (
+        "sim", "kind", "rank", "peer", "tag", "ctx", "nbytes", "buf",
+        "completed", "done", "status", "payload", "user_data", "cancelled",
+    )
+
+    _SEND_KINDS = ("send",)
+    _RECV_KINDS = ("recv",)
+
+    def __init__(self, sim: Simulator, kind: str, rank: int, peer: int, tag: int,
+                 ctx: int, nbytes: int, buf=None, payload=None) -> None:
+        if kind not in ("send", "recv"):
+            raise ValueError(f"bad request kind {kind!r}")
+        self.sim = sim
+        self.kind = kind
+        self.rank = rank
+        self.peer = peer          # dest for sends; source selector for recvs
+        self.tag = tag
+        self.ctx = ctx
+        self.nbytes = nbytes     # payload size (recv: buffer capacity)
+        self.buf = buf
+        self.payload = payload
+        self.completed = False
+        self.cancelled = False
+        self.done: Event = sim.event(f"req.{kind}")
+        self.status: Optional[Status] = None
+        self.user_data = None
+
+    @property
+    def is_send(self) -> bool:
+        return self.kind == "send"
+
+    def complete(self, status: Optional[Status] = None) -> None:
+        if self.completed:
+            raise RuntimeError(f"request {self!r} completed twice")
+        self.completed = True
+        self.status = status if status is not None else Status()
+        self.done.succeed(self.status)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "done" if self.completed else "pending"
+        return (f"<Request {self.kind} rank={self.rank} peer={self.peer} "
+                f"tag={self.tag} n={self.nbytes} {state}>")
+
+
+class PersistentRequest:
+    """A reusable communication descriptor (MPI_Send_init family).
+
+    ``start`` activates it (issuing a fresh underlying Request through
+    the device); ``wait``/``waitall`` on the communicator retire it so
+    it can be started again.  NPB codes use these for their repetitive
+    halo exchanges to amortize request setup.
+    """
+
+    __slots__ = ("comm", "kind", "buf", "peer", "tag", "active", "starts")
+
+    def __init__(self, comm, kind: str, buf, peer: int, tag: int) -> None:
+        if kind not in ("send", "recv"):
+            raise ValueError(f"bad persistent request kind {kind!r}")
+        self.comm = comm
+        self.kind = kind
+        self.buf = buf
+        self.peer = peer
+        self.tag = tag
+        self.active: Optional[Request] = None
+        self.starts = 0
+
+    def _start(self):
+        if self.active is not None and not self.active.completed:
+            raise RuntimeError("persistent request started while active")
+        self.starts += 1
+        if self.kind == "send":
+            self.active = yield from self.comm._isend(self.buf, self.peer, self.tag)
+        else:
+            self.active = yield from self.comm._irecv(self.buf, self.peer, self.tag)
+
+    def _retire(self) -> None:
+        self.active = None
+
+    @property
+    def completed(self) -> bool:
+        return self.active is not None and self.active.completed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "active" if self.active else "inactive"
+        return f"<PersistentRequest {self.kind} peer={self.peer} {state} x{self.starts}>"

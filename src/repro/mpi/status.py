@@ -1,0 +1,22 @@
+"""MPI_Status equivalent."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status"]
+
+
+@dataclass
+class Status:
+    """Completion information for a receive."""
+
+    source: int = -1
+    tag: int = -1
+    nbytes: int = 0
+
+    def get_count(self, itemsize: int = 1) -> int:
+        """Number of items received, given an element size in bytes."""
+        if itemsize <= 0:
+            raise ValueError("itemsize must be positive")
+        return self.nbytes // itemsize

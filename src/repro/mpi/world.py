@@ -1,0 +1,188 @@
+"""World construction: cluster + fabric + MPI ranks, and ``mpi_run``.
+
+A :class:`MPIWorld` assembles the full simulated stack for one MPI job:
+
+- the node cluster (block process-to-node mapping by default, as used
+  for the paper's SMP experiments §4.6);
+- one fabric (InfiniBand / Myrinet / Quadrics, with optional parameter
+  overrides such as ``bus_kind='pci'`` for the Fig. 26-28 experiments);
+- one MPI endpoint + device per rank, wired for shared-memory and
+  connection setup;
+- a COMM_WORLD per rank.
+
+Rank functions are generator coroutines taking the communicator::
+
+    def pingpong(comm):
+        ...
+        yield from comm.send(buf, dest=1)
+
+    result = mpi_run(pingpong, nprocs=2, network="quadrics")
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.engine import Simulator
+from repro.core.resources import AllOf
+from repro.hardware.cluster import Cluster
+from repro.hardware.cpu import MemcpyModel
+from repro.hardware.memory import AddressSpace
+from repro.mpi.communicator import Communicator, MPIEndpoint
+from repro.mpi.devices import device_class_for
+from repro.networks import canonical_network, make_fabric
+from repro.profiling.recorder import Recorder
+
+__all__ = ["MPIWorld", "WorldResult", "mpi_run"]
+
+
+@dataclass
+class WorldResult:
+    """Outcome of one simulated MPI job."""
+
+    elapsed_us: float
+    returns: List[Any]
+    recorder: Optional[Recorder]
+    world: "MPIWorld"
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_us / 1e6
+
+
+class MPIWorld:
+    """One simulated MPI job: cluster, fabric, endpoints, COMM_WORLDs."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        network: str = "infiniband",
+        ppn: int = 1,
+        nnodes: Optional[int] = None,
+        record: bool = True,
+        net_overrides: Optional[dict] = None,
+        mpi_options: Optional[dict] = None,
+        mapping: str = "block",
+        memcpy: Optional[MemcpyModel] = None,
+    ) -> None:
+        """``mpi_options`` are forwarded to the MPI device (e.g.
+        ``{"on_demand_connections": True}`` or ``{"rdma_collectives":
+        True}`` for the MVAPICH port).  ``mapping`` is the
+        process-to-node placement: ``"block"`` (the paper's §4.6
+        choice) or ``"cyclic"``."""
+        if nprocs < 1:
+            raise ValueError("need at least one process")
+        if ppn < 1:
+            raise ValueError("ppn must be >= 1")
+        if mapping not in ("block", "cyclic"):
+            raise ValueError(f"unknown mapping {mapping!r} (block|cyclic)")
+        self.nprocs = nprocs
+        self.network = canonical_network(network)
+        self.ppn = ppn
+        self.mapping = mapping
+        self.mpi_options = dict(mpi_options or {})
+        self.sim = Simulator()
+        if nnodes is None:
+            nnodes = math.ceil(nprocs / ppn)
+        self.nnodes = nnodes
+        self.cluster = Cluster(self.sim, nnodes, ncores_per_node=max(2, ppn),
+                               memcpy=memcpy)
+        self.fabric = make_fabric(self.network, self.sim, self.cluster,
+                                  **(net_overrides or {}))
+        self.recorder: Optional[Recorder] = Recorder() if record else None
+        self._ctx_registry: Dict[Any, int] = {}
+        self._next_ctx = 100
+
+        device_cls = device_class_for(self.fabric.kind)
+        self.endpoints: List[MPIEndpoint] = []
+        devices = {}
+        core_used = [0] * nnodes
+        for rank in range(nprocs):
+            if mapping == "block":
+                node_id = rank // ppn
+            else:  # cyclic: round-robin over nodes
+                node_id = rank % nnodes
+            if node_id >= nnodes or core_used[node_id] >= max(2, ppn):
+                raise ValueError(
+                    f"{nprocs} ranks at {ppn}/node do not fit on {nnodes} nodes"
+                )
+            node = self.cluster.node(node_id)
+            cpu = node.cpus[core_used[node_id]]
+            core_used[node_id] += 1
+            port = self.fabric.attach(rank, node_id)
+            space = AddressSpace(rank)
+            device = device_cls(self.sim, rank, cpu, self.fabric, port, space,
+                                recorder=self.recorder, options=self.mpi_options)
+            devices[rank] = device
+            self.endpoints.append(
+                MPIEndpoint(self.sim, self, rank, node_id, cpu, space, device,
+                            self.recorder)
+            )
+        # wire shared-memory peer table and (for MVAPICH) RC connections
+        all_ranks = list(range(nprocs))
+        for dev in devices.values():
+            dev.peers = devices
+            if hasattr(dev, "init_connections"):
+                dev.init_connections(all_ranks)
+        self.devices = devices
+        self.comms: List[Communicator] = [
+            Communicator(ep, all_ranks, ctx=0) for ep in self.endpoints
+        ]
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def comm(self, rank: int) -> Communicator:
+        """Rank ``rank``'s COMM_WORLD."""
+        return self.comms[rank]
+
+    def shared_ctx(self, key) -> int:
+        """Coordinated context allocation for dup/split (same key -> same ctx)."""
+        ctx = self._ctx_registry.get(key)
+        if ctx is None:
+            ctx = self._next_ctx
+            self._next_ctx += 2  # pt2pt + collective context pair
+            self._ctx_registry[key] = ctx
+        return ctx
+
+    def memory_usage_mb(self, rank: int = 0) -> float:
+        """Modelled resident MPI memory of one process (Fig. 13)."""
+        return self.devices[rank].memory_usage_mb(self.nprocs - 1)
+
+    # ------------------------------------------------------------------
+    def run(self, rank_fn: Callable, args: Sequence = (), kwargs: Optional[dict] = None,
+            until: Optional[float] = None) -> WorldResult:
+        """Run ``rank_fn(comm, *args, **kwargs)`` on every rank to completion."""
+        if self._ran:
+            raise RuntimeError("an MPIWorld is single-shot; build a new one")
+        self._ran = True
+        procs = [
+            self.sim.spawn(self._wrap(rank_fn, self.comms[r], args, kwargs or {}),
+                           name=f"rank{r}")
+            for r in range(self.nprocs)
+        ]
+        done = AllOf(self.sim, procs)
+        returns = self.sim.run(until_event=done, until=until)
+        return WorldResult(elapsed_us=self.sim.now, returns=returns,
+                           recorder=self.recorder, world=self)
+
+    @staticmethod
+    def _wrap(fn, comm, args, kwargs):
+        out = fn(comm, *args, **kwargs)
+        if hasattr(out, "send"):  # generator coroutine
+            out = yield from out
+        else:  # plain function: nothing to simulate, but stay a process
+            yield comm.sim.timeout(0.0)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<MPIWorld {self.network} nprocs={self.nprocs} ppn={self.ppn}>"
+
+
+def mpi_run(rank_fn: Callable, nprocs: int, network: str = "infiniband",
+            args: Sequence = (), kwargs: Optional[dict] = None,
+            until: Optional[float] = None, **world_kwargs) -> WorldResult:
+    """Build a world, run ``rank_fn`` on every rank, return the result."""
+    world = MPIWorld(nprocs, network=network, **world_kwargs)
+    return world.run(rank_fn, args=args, kwargs=kwargs, until=until)

@@ -1,0 +1,338 @@
+"""Fabric/port abstractions shared by the three interconnect models.
+
+A :class:`Fabric` owns the adapters, switch and the cached
+:class:`~repro.hardware.path.PipelinePath` between every (src, dst) node
+pair.  MPI protocol engines move data by handing :class:`Packet` objects
+to :meth:`Fabric.send_packet`; the fabric reserves pipeline capacity,
+fires a *local completion* event when the data has left the source host
+(the moment a sender-side CQ entry would appear) and delivers the packet
+to the destination :class:`NetPort` when the last chunk lands in
+destination host memory.
+
+Delivery has two modes, mirroring where message processing happens:
+
+- **host mode** (InfiniBand, Myrinet): the packet is queued on the
+  port's RX store; the rank's MPI *progress engine* must run (inside an
+  MPI call) to act on it.  This is what limits those stacks' ability to
+  overlap a rendezvous handshake with computation (§3.4).
+- **NIC mode** (Quadrics): the port's ``nic_handler`` runs immediately,
+  on the NIC's time — tag matching and rendezvous progression happen
+  without the host, which is exactly why Quadrics shows superior
+  computation/communication overlap for large messages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import Event, Simulator
+from repro.core.resources import Gate, Store
+from repro.hardware.cluster import Cluster
+from repro.hardware.path import PipelinePath, chunk_sizes
+
+__all__ = ["Packet", "NetPort", "Fabric"]
+
+
+@dataclass
+class Packet:
+    """One wire message (payload or protocol control).
+
+    ``kind`` is protocol-defined ('eager', 'rts', 'cts', 'fin', 'rdma',
+    ...).  ``nbytes`` is the payload size used for timing; ``payload``
+    optionally carries real data (verification-scale runs).  ``meta``
+    carries protocol state (tag, communicator id, request handles...).
+    """
+
+    kind: str
+    src_rank: int
+    dst_rank: int
+    nbytes: int
+    meta: dict = field(default_factory=dict)
+    payload: Optional[np.ndarray] = None
+    seq: int = -1
+
+
+class NetPort:
+    """A rank's attachment point to a fabric."""
+
+    def __init__(self, sim: Simulator, fabric: "Fabric", rank: int, node_id: int) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.rank = rank
+        self.node_id = node_id
+        #: queued arrivals awaiting host progress (host-mode networks)
+        self.rx = Store(sim, name=f"{fabric.kind}.rx[{rank}]")
+        #: pulsed whenever something lands in ``rx``
+        self.rx_gate = Gate(sim, name=f"{fabric.kind}.gate[{rank}]")
+        #: when set, arrivals are handed to the NIC instead of ``rx``
+        self.nic_handler: Optional[Callable[[Packet], None]] = None
+
+    def deliver(self, pkt: Packet) -> None:
+        if self.nic_handler is not None:
+            self.nic_handler(pkt)
+        else:
+            self.rx.put(pkt)
+            self.rx_gate.pulse()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<NetPort {self.fabric.kind} rank={self.rank} node={self.node_id}>"
+
+
+class Fabric:
+    """Base class for the three interconnect models."""
+
+    #: canonical name ('infiniband' | 'myrinet' | 'quadrics')
+    kind: str = "abstract"
+    #: paper series label ('IBA' | 'Myri' | 'QSN')
+    label: str = "?"
+    #: wire header+CRC bytes added to every packet
+    header_bytes: int = 40
+
+    def __init__(self, sim: Simulator, cluster: Cluster) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.ports: Dict[int, NetPort] = {}
+        self._paths: Dict[Tuple[int, int], PipelinePath] = {}
+        self._injectors: Dict[int, "_Injector"] = {}
+        self._pkt_seq = 0
+
+    # -- attachment -----------------------------------------------------
+    def attach(self, rank: int, node_id: int) -> NetPort:
+        if rank in self.ports:
+            raise ValueError(f"rank {rank} already attached to {self.kind}")
+        port = NetPort(self.sim, self, rank, node_id)
+        self.ports[rank] = port
+        self._on_attach(port)
+        return port
+
+    def _on_attach(self, port: NetPort) -> None:
+        """Subclass hook (e.g. allocate per-connection resources)."""
+
+    def node_of(self, rank: int) -> int:
+        return self.ports[rank].node_id
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a) == self.node_of(b)
+
+    # -- paths ------------------------------------------------------------
+    def path(self, src_node: int, dst_node: int) -> PipelinePath:
+        """The (cached) pipeline from src_node to dst_node.
+
+        ``src_node == dst_node`` returns the NIC loopback path (used when
+        an MPI port routes intra-node traffic through the adapter).
+        """
+        key = (src_node, dst_node)
+        p = self._paths.get(key)
+        if p is None:
+            if src_node == dst_node:
+                p = self._build_loopback_path(src_node)
+            else:
+                p = self._build_path(src_node, dst_node)
+            self._paths[key] = p
+        return p
+
+    def _build_path(self, src_node: int, dst_node: int) -> PipelinePath:
+        raise NotImplementedError
+
+    def _build_loopback_path(self, node: int) -> PipelinePath:
+        raise NotImplementedError
+
+    #: index of the last source-side stage in built paths (for local
+    #: completion semantics); subclasses set this to match _build_path.
+    local_stage_index: int = 1
+
+    #: how far into the future one source may reserve pipeline capacity.
+    #: Bounding this is what lets concurrent flows (e.g. the two
+    #: directions of a bus) interleave rather than queue behind one
+    #: burst's whole reservation.
+    HORIZON_US: float = 80.0
+    #: large messages reserve capacity in groups of this many bytes,
+    #: re-checking the horizon between groups.
+    GROUP_BYTES: int = 64 * 1024
+
+    def _select_path(self, pkt: Packet, wire_bytes: int, src_node: int, dst_node: int):
+        """Return (path, local_stage) for this packet; subclass hook."""
+        local_stage = None if src_node == dst_node else self.local_stage_index
+        return self.path(src_node, dst_node), local_stage
+
+    # -- data movement ------------------------------------------------------
+    def send_packet(self, pkt: Packet, extra_wire_bytes: int = 0) -> Event:
+        """Move ``pkt`` to its destination port.
+
+        Returns the *local completion* event (data out of source host).
+        Delivery to the destination port is scheduled internally; all
+        sends from one node go through that node's injector, which
+        preserves FIFO order (one DMA engine) and paces capacity
+        reservations to the horizon.
+        """
+        self._pkt_seq += 1
+        pkt.seq = self._pkt_seq
+        src_node = self.node_of(pkt.src_rank)
+        dst_node = self.node_of(pkt.dst_rank)
+        wire_bytes = pkt.nbytes + self.header_bytes + extra_wire_bytes
+        path, local_stage = self._select_path(pkt, wire_bytes, src_node, dst_node)
+
+        local_ev = self.sim.event(f"{self.kind}.local_done")
+        port = self.ports[pkt.dst_rank]
+        job = _SendJob(pkt, path, wire_bytes, local_stage, local_ev, port)
+        self._injector(src_node).submit(job)
+        return local_ev
+
+    def _injector(self, src_node: int) -> "_Injector":
+        inj = self._injectors.get(src_node)
+        if inj is None:
+            inj = _Injector(self.sim, self.HORIZON_US, self.GROUP_BYTES,
+                            name=f"{self.kind}.inj{src_node}")
+            self._injectors[src_node] = inj
+        return inj
+
+    # -- introspection ------------------------------------------------------
+    def describe(self) -> str:
+        return f"{self.label} fabric on {self.cluster.nnodes} nodes"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Fabric {self.kind} ports={len(self.ports)}>"
+
+
+class _SendJob:
+    """One message queued at a node's injector."""
+
+    __slots__ = ("pkt", "path", "wire_bytes", "local_stage", "local_ev",
+                 "port", "offset", "local_done", "delivered",
+                 "pending_groups", "injected_all")
+
+    def __init__(self, pkt: Packet, path: PipelinePath, wire_bytes: int,
+                 local_stage, local_ev: Event, port: NetPort) -> None:
+        self.pkt = pkt
+        self.path = path
+        self.wire_bytes = wire_bytes
+        self.local_stage = local_stage
+        self.local_ev = local_ev
+        self.port = port
+        self.offset = 0
+        self.local_done = 0.0
+        self.delivered = 0.0
+        self.pending_groups = 0
+        self.injected_all = False
+
+    @property
+    def src_phase_end(self) -> int:
+        split = self.path.split_stage
+        return len(self.path.stages) if split is None else split + 1
+
+    def horizon_time(self) -> float:
+        """Furthest reservation on this job's *source-side* stages."""
+        t = 0.0
+        for stage in self.path.stages[: self.src_phase_end]:
+            if stage.server is not None and stage.server.next_free > t:
+                t = stage.server.next_free
+        return t
+
+
+class _Injector:
+    """Per-source-node send serializer with bounded reservation lookahead.
+
+    Models the single DMA/command engine of a NIC: messages are injected
+    FIFO, and *source-side* capacity reservations never run more than
+    ``horizon_us`` ahead of simulated time — large messages reserve in
+    ``group_bytes``-sized slices.  Destination-side stages are reserved
+    by a deferred walk at the moment the data reaches them, so two nodes
+    streaming at each other interleave on shared resources (buses, NIC
+    SRAM) instead of queueing behind each other's future reservations.
+    """
+
+    def __init__(self, sim: Simulator, horizon_us: float, group_bytes: int,
+                 name: str = "injector") -> None:
+        self.sim = sim
+        self.horizon_us = horizon_us
+        self.group_bytes = group_bytes
+        self.name = name
+        self._queue: deque = deque()
+        self._sleeping = False
+
+    def submit(self, job: _SendJob) -> None:
+        self._queue.append(job)
+        if not self._sleeping:
+            self._pump()
+
+    def _pump(self) -> None:
+        self._sleeping = False
+        while self._queue:
+            job = self._queue[0]
+            wake_at = job.horizon_time() - self.horizon_us
+            if wake_at > self.sim.now:
+                self._sleep_until(wake_at)
+                return
+            self._advance(job)
+            if job.offset >= job.wire_bytes:
+                self._queue.popleft()
+                job.injected_all = True
+                # data has left the host once every group cleared the
+                # source-side stages; fire the local completion now.
+                job.local_ev.succeed(delay=max(0.0, job.local_done - self.sim.now))
+                if job.pending_groups == 0:
+                    self._deliver(job)
+
+    def _sleep_until(self, when: float) -> None:
+        self._sleeping = True
+        ev = self.sim.event(f"{self.name}.wake")
+        ev.add_callback(lambda _e: self._pump())
+        ev.succeed(delay=max(0.0, when - self.sim.now))
+
+    def _advance(self, job: _SendJob) -> None:
+        """Reserve the next group of the message (source phase)."""
+        first = job.offset == 0
+        group = min(self.group_bytes, job.wire_bytes - job.offset)
+        path = job.path
+        now = self.sim.now
+        entries = [
+            [now, now, csize, first and i == 0]
+            for i, csize in enumerate(chunk_sizes(group, path.chunk_bytes))
+        ]
+        phase_end = job.src_phase_end
+        nstages = len(path.stages)
+        local_stage = job.local_stage
+        local = path.walk_range(0, phase_end, entries,
+                                local_stage if (local_stage is not None and
+                                                local_stage < phase_end) else None)
+        job.local_done = max(job.local_done, local)
+        path.messages += 1 if first else 0
+        path.bytes_moved += group
+        job.offset += max(1, group)
+        if phase_end >= nstages:
+            self._group_done(job, max(e[1] for e in entries))
+            return
+        # Destination phase: reserve each chunk's dst-side capacity at
+        # that chunk's own arrival time.  Reserving any earlier would
+        # plant future reservations on shared servers (scalar next_free
+        # cannot represent the idle gap before them), spuriously
+        # blocking cross-traffic that physically interleaves.
+        for entry in entries:
+            job.pending_groups += 1
+            ev = self.sim.event(f"{self.name}.dstphase")
+
+            def _run_dst_phase(_e, job=job, entry=entry, phase_end=phase_end):
+                job.path.walk_range(phase_end, nstages, [entry])
+                job.pending_groups -= 1
+                self._group_done(job, entry[1])
+
+            ev.add_callback(_run_dst_phase)
+            ev.succeed(delay=max(0.0, entry[0] - now))
+
+    def _group_done(self, job: _SendJob, delivered: float) -> None:
+        if delivered > job.delivered:
+            job.delivered = delivered
+        if job.injected_all and job.pending_groups == 0:
+            self._deliver(job)
+
+    def _deliver(self, job: _SendJob) -> None:
+        if job.port is None:
+            return
+        port, job.port = job.port, None  # deliver exactly once
+        deliver_ev = self.sim.event("deliver")
+        deliver_ev.add_callback(lambda _e: port.deliver(job.pkt))
+        deliver_ev.succeed(delay=max(0.0, job.delivered - self.sim.now))

@@ -1,0 +1,28 @@
+"""InfiniBand: Mellanox InfiniHost HCAs + InfiniScale switch + VAPI.
+
+The testbed used InfiniHost MT23108 HCAs on 64-bit/133 MHz PCI-X behind
+an 8-port 10 Gbps InfiniScale switch, driven through the VAPI verbs
+interface (Reliable Connection service, send/recv + RDMA, explicit
+memory registration, completion queues).  MVAPICH 0.9.1 sits on top and
+uses RDMA writes even for small and control messages.
+"""
+
+from repro.networks.infiniband.params import InfiniBandParams
+from repro.networks.infiniband.hca import InfiniBandFabric
+from repro.networks.infiniband.verbs import (
+    CompletionQueue,
+    MemoryRegion,
+    QueuePair,
+    VapiDevice,
+    WorkCompletion,
+)
+
+__all__ = [
+    "InfiniBandParams",
+    "InfiniBandFabric",
+    "VapiDevice",
+    "QueuePair",
+    "CompletionQueue",
+    "MemoryRegion",
+    "WorkCompletion",
+]

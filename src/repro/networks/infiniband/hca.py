@@ -1,0 +1,136 @@
+"""InfiniHost HCA model and the InfiniBand fabric.
+
+Builds the pipeline stages for every node pair:
+
+    src bus -> HCA TX engine -> uplink wire -> switch out-port (+wire)
+    -> HCA RX engine -> dst bus
+
+and a two-bus-crossing loopback path for NIC-routed intra-node traffic
+(MVAPICH sends intra-node messages >= 16 KB through the HCA; the
+resulting ~450 MB/s — half the PCI-X ceiling — matches §3.6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.engine import Simulator
+from repro.hardware.cluster import Cluster
+from repro.hardware.memory import PinDownCache
+from repro.hardware.nic import NicPorts
+from repro.hardware.path import PipelinePath, Stage
+from repro.hardware.switch import CrossbarSwitch
+from repro.networks.base import Fabric, NetPort
+from repro.networks.infiniband.params import InfiniBandParams
+from repro.networks.infiniband.verbs import VapiDevice
+
+__all__ = ["InfiniBandFabric"]
+
+
+class InfiniBandFabric(Fabric):
+    """InfiniHost HCAs around an InfiniScale crossbar."""
+
+    kind = "infiniband"
+    label = "IBA"
+    header_bytes = 40  # LRH+BTH+ICRC/VCRC of an IB packet
+
+    def __init__(self, sim: Simulator, cluster: Cluster,
+                 params: InfiniBandParams | None = None, **overrides) -> None:
+        super().__init__(sim, cluster)
+        if params is None:
+            params = InfiniBandParams(**overrides) if overrides else InfiniBandParams()
+        self.params = params
+        self.switch = CrossbarSwitch(
+            sim,
+            nports=max(cluster.nnodes, 2),
+            port_bw_bytes_per_us=params.wire_bw,
+            cut_through_us=params.switch_latency_us,
+            name="infiniscale",
+        )
+        self.hcas: Dict[int, NicPorts] = {}
+        self.pin_caches: Dict[int, PinDownCache] = {}
+        self.devices: Dict[int, VapiDevice] = {}
+
+    # -- adapters -----------------------------------------------------------
+    def hca(self, node_id: int) -> NicPorts:
+        h = self.hcas.get(node_id)
+        if h is None:
+            p = self.params
+            h = NicPorts(
+                self.sim,
+                name=f"infinihost.n{node_id}",
+                engine_bw_bytes_per_us=p.engine_bw,
+                wire_bw_bytes_per_us=p.wire_bw,
+                tx_chunk_overhead_us=p.chunk_proc_us,
+                rx_chunk_overhead_us=p.chunk_proc_us,
+            )
+            self.hcas[node_id] = h
+            self.pin_caches[node_id] = PinDownCache(
+                capacity_bytes=p.pin_cache_bytes,
+                register_base_us=p.reg_base_us,
+                register_page_us=p.reg_page_us,
+                deregister_page_us=p.dereg_page_us,
+            )
+        return h
+
+    def vapi(self, rank: int) -> VapiDevice:
+        """The per-rank VAPI context (created at attach time)."""
+        return self.devices[rank]
+
+    def _on_attach(self, port: NetPort) -> None:
+        self.hca(port.node_id)
+        self.devices[port.rank] = VapiDevice(
+            self.sim, self, port.rank, self.pin_caches[port.node_id]
+        )
+
+    # -- paths ----------------------------------------------------------------
+    # Stage layout: [0]=src bus, [1]=message processor (TX work),
+    # [2]=tx engine, [3]=uplink, [4]=switch out-port, [5]=message
+    # processor (RX work), [6]=rx engine, [7]=dst bus.  Local completion
+    # = data has cleared the TX engine (stage 2).
+    local_stage_index = 2
+
+    def _build_path(self, src_node: int, dst_node: int) -> PipelinePath:
+        p = self.params
+        src_bus = self.cluster.node(src_node).bus(p.bus_kind)
+        dst_bus = self.cluster.node(dst_node).bus(p.bus_kind)
+        src_hca = self.hca(src_node)
+        dst_hca = self.hca(dst_node)
+        stages = [
+            Stage(src_bus.server, overhead_us=src_bus.burst_overhead_us,
+                  first_chunk_extra_us=src_bus.dma_setup_us, name="src_bus"),
+            Stage(src_hca.mproc, first_chunk_extra_us=p.tx_proc_us,
+                  trailing_us=p.cqe_gen_us, name="hca_proc_tx"),
+            Stage(src_hca.tx_engine, name="hca_tx"),
+            Stage(src_hca.uplink, latency_us=p.wire_latency_us, name="uplink"),
+            Stage(self.switch.out_port(dst_node),
+                  latency_us=p.switch_latency_us + p.wire_latency_us, name="downlink"),
+            Stage(dst_hca.mproc, first_chunk_extra_us=p.rx_proc_us, name="hca_proc_rx"),
+            Stage(dst_hca.rx_engine, name="hca_rx"),
+            Stage(dst_bus.server, overhead_us=dst_bus.burst_overhead_us,
+                  first_chunk_extra_us=dst_bus.dma_setup_us, name="dst_bus"),
+        ]
+        return PipelinePath(self.sim, stages, name=f"ib.{src_node}->{dst_node}",
+                            split_stage=3)  # after the uplink
+
+    def _build_loopback_path(self, node: int) -> PipelinePath:
+        """HCA loopback: out through TX, straight back in through RX.
+
+        Crosses the host bus twice, which is why MVAPICH's large-message
+        intra-node bandwidth plateaus at about half the PCI-X ceiling.
+        """
+        p = self.params
+        bus = self.cluster.node(node).bus(p.bus_kind)
+        hca = self.hca(node)
+        stages = [
+            Stage(bus.server, overhead_us=bus.burst_overhead_us,
+                  first_chunk_extra_us=bus.dma_setup_us, name="bus_out"),
+            Stage(hca.mproc, first_chunk_extra_us=p.tx_proc_us,
+                  trailing_us=p.cqe_gen_us, name="hca_proc_tx"),
+            Stage(hca.tx_engine, name="hca_tx"),
+            Stage(hca.mproc, first_chunk_extra_us=p.rx_proc_us, name="hca_proc_rx"),
+            Stage(hca.rx_engine, name="hca_rx"),
+            Stage(bus.server, overhead_us=bus.burst_overhead_us,
+                  first_chunk_extra_us=bus.dma_setup_us, name="bus_in"),
+        ]
+        return PipelinePath(self.sim, stages, name=f"ib.loop{node}")

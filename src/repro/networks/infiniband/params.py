@@ -1,0 +1,86 @@
+"""InfiniHost/InfiniScale model parameters and their calibration story.
+
+Every constant is calibrated against a specific paper observation; the
+applications and collectives are *not* separately calibrated — they
+inherit these point-to-point numbers.
+
+Key anchors (paper §3):
+
+- small-message MPI latency 6.8 µs with ~1.7 µs total host overhead
+  (Figs. 1, 3) -> HCA per-packet processing ~1.5 µs/side;
+- uni-directional bandwidth 841 MB/s (Fig. 2) -> effective wire rate of
+  a 10 Gbps link after headers/coding ~= 841 MB/s (MB = 2^20 B);
+- bi-directional bandwidth saturates at ~900 MB/s (Fig. 5) -> PCI-X bus
+  ceiling (see :func:`repro.hardware.bus.make_pcix_bus`);
+- bandwidth dip at 2 KB (Fig. 2) -> MVAPICH eager->rendezvous switch;
+- latency degradation without buffer reuse for >1 KB messages (Fig. 7)
+  -> registration cost paid by the rendezvous path on pin-down-cache
+  misses;
+- IB-over-PCI: 378 MB/s, +0.6 µs latency (Figs. 26, 27) -> PCI bus
+  model, nothing IB-specific changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.units import mbps_to_bytes_per_us
+
+__all__ = ["InfiniBandParams"]
+
+
+@dataclass(frozen=True)
+class InfiniBandParams:
+    """Timing/resource constants for the InfiniHost + InfiniScale model."""
+
+    # --- wire & switch -------------------------------------------------
+    #: effective payload bandwidth of one 10 Gbps link direction
+    #: (calibrates Fig. 2 plateau: 841 MB/s)
+    wire_bw_mbps: float = 845.0
+    #: link propagation + SerDes per hop
+    wire_latency_us: float = 0.15
+    #: InfiniScale cut-through routing latency
+    switch_latency_us: float = 0.20
+
+    # --- HCA engines ----------------------------------------------------
+    #: internal data engine bandwidth (not the bottleneck; > wire & bus)
+    engine_bw_mbps: float = 1600.0
+    #: per-packet TX processing (descriptor fetch, header build)
+    tx_proc_us: float = 1.72
+    #: per-packet RX processing (header parse, CQE generation)
+    rx_proc_us: float = 1.72
+    #: per-chunk engine overhead once a message is streaming
+    chunk_proc_us: float = 0.12
+    #: CQE generation after a send — trailing occupancy on the HCA's
+    #: message processor (degrades bi-directional latency, Fig. 4)
+    cqe_gen_us: float = 0.5
+
+    # --- host bus --------------------------------------------------------
+    #: 'pcix' in the baseline configuration; 'pci' for Figs. 26-28
+    bus_kind: str = "pcix"
+
+    # --- memory registration (VAPI reg_mr) ------------------------------
+    #: base cost of a registration call (kernel trap, pinning setup)
+    reg_base_us: float = 22.0
+    #: additional cost per 4 KB page pinned
+    reg_page_us: float = 5.5
+    #: lazy de-registration cost per page (paid on pin-down cache evict)
+    dereg_page_us: float = 1.2
+    #: pin-down cache capacity
+    pin_cache_bytes: int = 1536 * 1024 * 1024
+
+    # --- MVAPICH memory footprint (Fig. 13) ------------------------------
+    #: MB resident for the library + process-wide pools
+    mem_base_mb: float = 15.0
+    #: MB reserved per RC connection (RDMA eager rings + QP/CQ resources);
+    #: Fig. 13 shows ~15 MB at 2 nodes growing to ~55 MB at 8 nodes,
+    #: i.e. ~5.7 MB per additional peer.
+    mem_per_conn_mb: float = 5.7
+
+    @property
+    def wire_bw(self) -> float:
+        return mbps_to_bytes_per_us(self.wire_bw_mbps)
+
+    @property
+    def engine_bw(self) -> float:
+        return mbps_to_bytes_per_us(self.engine_bw_mbps)

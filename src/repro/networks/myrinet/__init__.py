@@ -1,0 +1,16 @@
+"""Myrinet: M3F-PCIXD-2 cards (LANai-XP) + Myrinet-2000 switch + GM.
+
+The testbed's Myrinet network is a 2 Gbps/direction Myrinet-2000 8-port
+crossbar with M3F-PCIXD-2 NICs: a user-programmable 225 MHz LANai-XP
+processor with 2 MB on-board SRAM on 64-bit/133 MHz PCI-X.  GM provides
+connectionless, reliable, in-order send/receive with registered buffers
+plus a *directed send* (remote memory write).  MPICH-GM retargets the
+MPICH Channel Interface to GM: send/recv for small and control messages,
+directed send for large ones.
+"""
+
+from repro.networks.myrinet.params import MyrinetParams
+from repro.networks.myrinet.lanai import MyrinetFabric
+from repro.networks.myrinet.gm import GmPort, GmRecvEvent
+
+__all__ = ["MyrinetParams", "MyrinetFabric", "GmPort", "GmRecvEvent"]

@@ -1,0 +1,89 @@
+"""Myrinet/LANai/GM model parameters and calibration anchors.
+
+Paper anchors (§3):
+
+- small-message MPI latency 6.7 µs with only ~0.8 µs host overhead
+  (Figs. 1, 3): GM does almost everything on the NIC, but the 225 MHz
+  LANai firmware costs ~2 µs per packet per side;
+- uni-directional bandwidth 235 MB/s (Fig. 2): essentially the 2 Gbps
+  wire rate (2e9/8 B/s = 238 MiB/s) minus per-chunk firmware overhead;
+- bi-directional bandwidth 473 MB/s, *dropping below 340 MB/s past
+  256 KB* (Fig. 5): both directions run at wire rate until large
+  messages must be staged through the 2 MB on-board SRAM, whose memory
+  port then saturates (store-and-forward doubles SRAM traffic);
+- buffer reuse only matters above 16 KB (Figs. 7, 8): MPICH-GM copies
+  smaller messages through pre-registered bounce buffers and only
+  registers user buffers for directed-send rendezvous;
+- intra-node latency 1.3 µs (Fig. 9): MPICH-GM ships a shared-memory
+  device used for *all* intra-node message sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.units import mbps_to_bytes_per_us
+
+__all__ = ["MyrinetParams"]
+
+
+@dataclass(frozen=True)
+class MyrinetParams:
+    """Timing/resource constants for the LANai-XP + Myrinet-2000 model."""
+
+    # --- wire & switch ------------------------------------------------
+    #: effective payload bandwidth of one 2 Gbps link direction
+    wire_bw_mbps: float = 236.5
+    wire_latency_us: float = 0.05
+    #: Myrinet-2000 crossbar cut-through
+    switch_latency_us: float = 0.10
+
+    # --- LANai-XP -------------------------------------------------------
+    #: firmware per-packet processing on send (225 MHz processor)
+    tx_proc_us: float = 2.10
+    rx_proc_us: float = 2.10
+    #: per-chunk firmware overhead while streaming
+    chunk_proc_us: float = 0.35
+    #: firmware cost of retiring a send and raising the host callback;
+    #: contends with RX processing on the LANai — the mechanism behind
+    #: Myrinet's disproportionate bi-directional latency (Fig. 4)
+    send_done_proc_us: float = 1.2
+    #: DMA engine bandwidth between SRAM and wire/host (per direction)
+    engine_bw_mbps: float = 500.0
+    #: SRAM memory-port bandwidth shared by all staging traffic
+    sram_bw_mbps: float = 680.0
+    #: messages larger than this are fully staged in SRAM
+    #: (store-and-forward -> double SRAM traffic); calibrates the Fig. 5
+    #: bi-directional collapse past 256 KB
+    sram_cutthrough_bytes: int = 256 * 1024
+
+    # --- host bus ---------------------------------------------------------
+    bus_kind: str = "pcix"
+
+    # --- GM registration ----------------------------------------------------
+    reg_base_us: float = 18.0
+    reg_page_us: float = 5.0
+    dereg_page_us: float = 1.0
+    pin_cache_bytes: int = 1536 * 1024 * 1024
+
+    # --- GM tokens ------------------------------------------------------------
+    #: send tokens per port (posting beyond this blocks until completions)
+    send_tokens: int = 64
+    recv_tokens: int = 512
+
+    # --- MPICH-GM memory footprint (Fig. 13) -----------------------------------
+    #: GM's footprint is connectionless: flat in the number of nodes
+    mem_base_mb: float = 9.0
+    mem_per_conn_mb: float = 0.05
+
+    @property
+    def wire_bw(self) -> float:
+        return mbps_to_bytes_per_us(self.wire_bw_mbps)
+
+    @property
+    def engine_bw(self) -> float:
+        return mbps_to_bytes_per_us(self.engine_bw_mbps)
+
+    @property
+    def sram_bw(self) -> float:
+        return mbps_to_bytes_per_us(self.sram_bw_mbps)

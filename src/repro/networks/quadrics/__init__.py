@@ -1,0 +1,18 @@
+"""Quadrics: Elan3 QM-400 cards + Elite-16 switch + Elan3lib/Tports.
+
+The Quadrics network (§2.3) pairs Elan3 NICs (64 MB SDRAM, an on-board
+MMU and a programmable thread processor) with Elite crossbar switches at
+400 MB/s per link direction over 64-bit/66 MHz PCI.  Elan3lib exposes a
+*global virtual address space* — no memory registration; the NIC MMU is
+kept coherent by system software.  Tports layers a tagged point-to-point
+message-passing interface on top, with **tag matching and message
+progression executed on the NIC**, which gives Quadrics its excellent
+small-message latency and its unmatched ability to overlap rendezvous
+progress with host computation (§3.4).
+"""
+
+from repro.networks.quadrics.params import QuadricsParams
+from repro.networks.quadrics.elan import QuadricsFabric
+from repro.networks.quadrics.tports import TportsPort, TxHandle, RxHandle
+
+__all__ = ["QuadricsParams", "QuadricsFabric", "TportsPort", "TxHandle", "RxHandle"]

@@ -1,0 +1,105 @@
+"""Elan3/Elite/Tports model parameters and calibration anchors.
+
+Paper anchors (§3):
+
+- small-message MPI latency 4.6 µs but host overhead ~3.3 µs (Figs. 1,
+  3): the Tports library path on the host is expensive, the NIC path is
+  extremely fast;
+- host overhead *drops* slightly past 256 bytes (Fig. 3): payloads up to
+  the Elan3 inline limit are copied into the command port by the host
+  (PIO), larger ones are fetched by the NIC's DMA engine;
+- uni-directional bandwidth 308 MB/s (Fig. 2): below both the 400 MB/s
+  (decimal) link and the PCI ceiling — the Elan3 data engine is the
+  bottleneck;
+- bi-directional bandwidth 375 MB/s (Fig. 5): the shared 66 MHz PCI bus;
+- uni-directional bandwidth *drops when the send window exceeds 16*
+  (Fig. 2): the Tports transmit queue holds 16 descriptors, beyond which
+  the host must spin for a free slot and re-arm;
+- steep 0 %-buffer-reuse latency rise at every size (Fig. 7): Elan MMU
+  misses serviced by host system software;
+- intra-node latency *worse than inter-node* (Fig. 9): MPICH-Quadrics
+  has no shared-memory device — intra-node messages loop through the
+  NIC, crossing the PCI bus twice;
+- better large-message overlap than IB/Myrinet (Fig. 6): rendezvous is
+  progressed entirely by the NIC thread processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.units import mbps_to_bytes_per_us
+
+__all__ = ["QuadricsParams"]
+
+
+@dataclass(frozen=True)
+class QuadricsParams:
+    """Timing/resource constants for the Elan3 + Elite model."""
+
+    # --- wire & switch ---------------------------------------------------
+    #: effective payload bandwidth of one link direction
+    #: (400 MB/s decimal = 381 MiB/s raw; ~345 after protocol overhead)
+    wire_bw_mbps: float = 345.0
+    wire_latency_us: float = 0.10
+    #: Elite wormhole cut-through
+    switch_latency_us: float = 0.15
+
+    # --- Elan3 NIC ----------------------------------------------------------
+    #: Elan3 data engine bandwidth (the uni-directional bottleneck)
+    engine_bw_mbps: float = 312.0
+    #: per-message NIC processing, TX side (thread processor dispatch)
+    tx_proc_us: float = 0.12
+    #: per-message NIC processing, RX side (before matching)
+    rx_proc_us: float = 0.12
+    #: per-chunk engine overhead while streaming
+    chunk_proc_us: float = 0.18
+    #: event/descriptor retirement after a transmit — trailing occupancy
+    #: on the thread processor (degrades bi-directional latency, Fig. 4)
+    tx_retire_us: float = 1.0
+    #: NIC-side tag matching: base cost + cost per posted receive
+    #: descriptor scanned (calibrates the Fig. 11 Alltoall gap)
+    match_base_us: float = 0.12
+    match_per_posted_us: float = 1.10
+
+    # --- Elan MMU ---------------------------------------------------------
+    #: translation entries cached on the NIC (page tables live in the
+    #: Elan's 64 MB SDRAM: effectively covers working sets of gigabytes)
+    tlb_entries: int = 512 * 1024
+    #: host trap cost per faulting lookup (the Fig. 7 0%-reuse step)
+    tlb_miss_base_us: float = 10.0
+    #: table-install cost per missing page (faulting path)
+    tlb_miss_page_us: float = 13.0
+    #: beyond this many pages one trap batch-fills the table...
+    tlb_bulk_threshold_pages: int = 32
+    #: ...at this per-page rate (keeps huge working sets affordable)
+    tlb_bulk_page_us: float = 0.5
+
+    # --- Tports ------------------------------------------------------------
+    #: payloads <= this are PIO'd into the command port by the host
+    inline_bytes: int = 288
+    #: messages above this use the NIC-progressed rendezvous
+    eager_bytes: int = 4096
+    #: transmit descriptor queue depth (Fig. 2 window-16 knee)
+    tx_queue_depth: int = 16
+    #: host spin + re-arm penalty when the tx queue is full
+    tx_queue_full_penalty_us: float = 3.5
+
+    # --- host bus -------------------------------------------------------------
+    bus_kind: str = "pci"
+    #: Elan3's PCI DMA is tighter than a generic card's: per-burst and
+    #: first-burst costs used when the Elan masters the bus
+    bus_burst_overhead_us: float = 0.30
+    bus_dma_setup_us: float = 0.30
+
+    # --- MPICH-Quadrics memory footprint (Fig. 13) ------------------------------
+    mem_base_mb: float = 19.0
+    mem_per_conn_mb: float = 0.1
+
+    @property
+    def wire_bw(self) -> float:
+        return mbps_to_bytes_per_us(self.wire_bw_mbps)
+
+    @property
+    def engine_bw(self) -> float:
+        return mbps_to_bytes_per_us(self.engine_bw_mbps)

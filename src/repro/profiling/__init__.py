@@ -1,0 +1,38 @@
+"""MPI call tracing and the paper's derived statistics.
+
+The paper profiles applications "through the MPICH logging interface
+[modified] to log more information such as buffer reuse patterns" (§4).
+This package is that instrument:
+
+- :class:`~repro.profiling.recorder.Recorder` collects one record per
+  MPI call (function, peer, bytes, buffer address, blocking-ness,
+  timestamps) and one per wire transfer;
+- :mod:`repro.profiling.stats` derives the paper's tables from the
+  records: message-size distribution (Table 1), non-blocking call usage
+  (Table 3), buffer-reuse rates plain and size-weighted (Table 4),
+  collective call/volume shares (Table 5) and intra-node shares
+  (Table 6);
+- :mod:`repro.profiling.report` renders them in the paper's layout.
+"""
+
+from repro.profiling.recorder import CallRecord, Recorder, TransferRecord
+from repro.profiling.stats import (
+    buffer_reuse_rate,
+    collective_stats,
+    intranode_stats,
+    message_size_histogram,
+    nonblocking_stats,
+    transfer_size_histogram,
+)
+
+__all__ = [
+    "Recorder",
+    "CallRecord",
+    "TransferRecord",
+    "message_size_histogram",
+    "transfer_size_histogram",
+    "nonblocking_stats",
+    "buffer_reuse_rate",
+    "collective_stats",
+    "intranode_stats",
+]

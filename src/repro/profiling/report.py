@@ -1,0 +1,71 @@
+"""Application profile reports in the paper's §4 layout.
+
+Given one application run's :class:`~repro.profiling.recorder.Recorder`,
+render the full per-application profile the paper builds its analysis
+on: message sizes, non-blocking usage, buffer reuse, collective and
+intra-node shares — the row this app contributes to Tables 1 and 3-6.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.profiling.recorder import Recorder
+from repro.profiling.stats import (SIZE_BUCKETS, buffer_reuse_rate,
+                                   collective_stats, intranode_stats,
+                                   message_size_histogram, nonblocking_stats,
+                                   transfer_size_histogram)
+
+__all__ = ["app_profile_report", "profile_dict"]
+
+
+def profile_dict(rec: Recorder) -> dict:
+    """All derived statistics for one run, as one nested dict."""
+    return {
+        "message_sizes": message_size_histogram(rec),
+        "wire_transfers": transfer_size_histogram(rec),
+        "nonblocking": nonblocking_stats(rec),
+        "buffer_reuse": buffer_reuse_rate(rec),
+        "collectives": collective_stats(rec),
+        "intranode": intranode_stats(rec),
+    }
+
+
+def app_profile_report(name: str, rec: Recorder,
+                       paper_row: Optional[dict] = None) -> str:
+    """Render one application's communication profile as text.
+
+    ``paper_row`` may carry the paper's reference values keyed like the
+    profile dict; they are printed alongside for comparison.
+    """
+    p = profile_dict(rec)
+    lines: List[str] = [f"=== {name} communication profile ==="]
+
+    hist = p["message_sizes"]
+    buckets = " ".join(f"{n}={hist[n]}" for n, _l, _h in SIZE_BUCKETS)
+    lines.append(f"message sizes (per-process send calls): {buckets}")
+    if paper_row and "message_sizes" in paper_row:
+        ref = paper_row["message_sizes"]
+        lines.append(f"  paper: " + " ".join(f"{k}={v}" for k, v in ref.items()))
+
+    nb = p["nonblocking"]
+    lines.append(
+        f"non-blocking: {nb['isend']['calls']} isend "
+        f"(avg {nb['isend']['avg_size']:.0f} B), "
+        f"{nb['irecv']['calls']} irecv (avg {nb['irecv']['avg_size']:.0f} B)")
+
+    br = p["buffer_reuse"]
+    lines.append(f"buffer reuse: {br['reuse_pct']:.2f}% plain, "
+                 f"{br['weighted_reuse_pct']:.2f}% size-weighted")
+
+    cs = p["collectives"]
+    lines.append(
+        f"collectives: {cs['calls']} calls ({cs['pct_calls']:.2f}% of calls, "
+        f"{cs['pct_volume']:.2f}% of volume) "
+        f"{dict(cs['by_name']) if cs['by_name'] else ''}")
+
+    it = p["intranode"]
+    lines.append(f"intra-node pt2pt: {it['calls']} transfers "
+                 f"({it['pct_calls']:.2f}% of calls, "
+                 f"{it['pct_volume']:.2f}% of volume)")
+    return "\n".join(lines)

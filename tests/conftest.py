@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Simulator
+from repro.hardware.cluster import Cluster
+
+NETWORKS = ("infiniband", "myrinet", "quadrics")
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def cluster(sim) -> Cluster:
+    return Cluster(sim, nnodes=4)
+
+
+@pytest.fixture(params=NETWORKS)
+def network(request) -> str:
+    """Parametrize a test over all three interconnects."""
+    return request.param

@@ -1,0 +1,134 @@
+"""Unit tests for the applications' internal machinery (grids,
+permutations, serial references, work model)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.classes import (PROBLEMS, ProblemConfig, get_problem, log2i,
+                                proc_grid_2d, proc_grid_3d)
+from repro.apps.nas.cg import cg_grid, transpose_partner
+from repro.apps.sweep3d import OCTANTS, serial_sweep, sweep_grid
+
+
+class TestGrids:
+    @pytest.mark.parametrize("n,expect", [(1, (1, 1)), (2, (2, 1)),
+                                          (4, (2, 2)), (8, (4, 2)),
+                                          (16, (4, 4))])
+    def test_proc_grid_2d(self, n, expect):
+        assert proc_grid_2d(n) == expect
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32])
+    def test_proc_grid_3d_covers(self, n):
+        dims = proc_grid_3d(n)
+        assert dims[0] * dims[1] * dims[2] == n
+        assert dims[0] >= dims[1] >= dims[2]
+
+    def test_log2i_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2i(6)
+
+    @pytest.mark.parametrize("n,expect", [(2, (1, 2)), (4, (2, 2)),
+                                          (8, (2, 4)), (16, (4, 4))])
+    def test_cg_grid_npb_shape(self, n, expect):
+        assert cg_grid(n) == expect
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_transpose_partner_is_a_permutation(self, n):
+        perm = transpose_partner(n)
+        assert sorted(perm) == list(range(n))
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_transpose_partner_row_coverage(self, n):
+        """The partner's row range must contain the sender's col range
+        (the invariant the CG data exchange relies on)."""
+        nprows, npcols = cg_grid(n)
+        perm = transpose_partner(n)
+        for rank in range(n):
+            row, col = divmod(rank, npcols)
+            prow = perm[rank] // npcols
+            # partner's row block (in units of 1/nprows) must contain
+            # the sender's col block (in units of 1/npcols)
+            lo = col / npcols
+            hi = (col + 1) / npcols
+            assert prow / nprows <= lo + 1e-12
+            assert (prow + 1) / nprows >= hi - 1e-12
+
+    @pytest.mark.parametrize("n,expect", [(2, (2, 1)), (8, (4, 2)),
+                                          (16, (4, 4))])
+    def test_sweep_grid(self, n, expect):
+        assert sweep_grid(n) == expect
+
+
+class TestSweepReference:
+    def test_octants_complete(self):
+        assert len(OCTANTS) == 8
+        assert len(set(OCTANTS)) == 8
+
+    def test_serial_sweep_deterministic(self):
+        a = serial_sweep(8, 8, 8, mk=2, mmi=3, iters=1)
+        b = serial_sweep(8, 8, 8, mk=2, mmi=3, iters=1)
+        assert np.array_equal(a, b)
+
+    def test_flux_accumulates_over_iterations(self):
+        one = serial_sweep(6, 6, 6, mk=2, mmi=3, iters=1)
+        two = serial_sweep(6, 6, 6, mk=2, mmi=3, iters=2)
+        assert np.allclose(two, 2 * one)  # zero inflow each octant sweep
+
+    def test_blocking_invariance(self):
+        """mk/mmi blocking changes communication, never the answer."""
+        a = serial_sweep(8, 8, 8, mk=1, mmi=6, iters=1)
+        b = serial_sweep(8, 8, 8, mk=4, mmi=2, iters=1)
+        assert np.allclose(a, b)
+
+    def test_symmetry_of_symmetric_problem(self):
+        """Uniform source + full octant set gives an i<->j symmetric
+        scalar flux on a cubic grid with symmetric quadrature pairs."""
+        phi = serial_sweep(6, 6, 6, mk=2, mmi=6, iters=1)
+        # the i and j axes play symmetric roles up to the mu/eta swap;
+        # at least the field must be invariant under (i,j,k)->(rev i, rev j, rev k)
+        assert np.allclose(phi, phi[::-1, ::-1, ::-1])
+
+
+class TestWorkModel:
+    def test_work_halves_with_ranks(self):
+        cfg = get_problem("lu", "B")
+        assert cfg.work_s(4) == pytest.approx(cfg.work_s(2) / 2)
+
+    def test_superlinear_speedup(self):
+        cfg = get_problem("cg", "B")
+        plain = cfg.work_s(2) / 4
+        assert cfg.work_s(8) < plain  # cache superlinearity
+
+    def test_adjustment_hook(self):
+        cfg = get_problem("cg", "B")
+        base = ProblemConfig(app="x", klass="B", niters=10,
+                             base_work_s_2ranks=cfg.base_work_s_2ranks,
+                             superlinear=cfg.superlinear)
+        # cg.B carries adjust4 > 1 (the 2x2-grid cache anomaly)
+        assert cfg.work_s(4) > base.work_s(4)
+
+    def test_single_rank_does_double_work(self):
+        cfg = get_problem("mg", "B")
+        assert cfg.work_s(1) == pytest.approx(2 * cfg.base_work_s_2ranks)
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            get_problem("mg", "B").work_s(0)
+
+    def test_unknown_problem(self):
+        with pytest.raises(KeyError):
+            get_problem("hpl", "B")
+
+    @given(st.sampled_from(sorted(PROBLEMS)), st.sampled_from([2, 4, 8, 16]))
+    @settings(max_examples=30, deadline=None)
+    def test_property_work_positive_and_decreasing(self, key, nprocs):
+        cfg = PROBLEMS[key]
+        if cfg.base_work_s_2ranks == 0:
+            return
+        w = cfg.work_s(nprocs)
+        assert w > 0
+        assert w <= cfg.work_s(max(nprocs // 2, 1)) * 1.01 or nprocs == 2

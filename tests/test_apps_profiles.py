@@ -1,0 +1,121 @@
+"""Communication-schedule invariants of the applications.
+
+The strongest structural checks: the schedule (who calls what, how
+often, how big) must be identical across networks and between verify
+and paper mode — only the *timing* may differ.
+"""
+
+import pytest
+
+from repro.apps import run_app
+from repro.profiling import message_size_histogram, nonblocking_stats
+
+
+def _call_signature(rec):
+    """Network-independent schedule fingerprint.
+
+    Records interleave across ranks in timing-dependent order, so the
+    fingerprint is the per-rank sequence of (func, peer, nbytes).
+    """
+    per_rank = {}
+    for c in rec.calls:
+        per_rank.setdefault(c.rank, []).append((c.func, c.peer, c.nbytes))
+    return {r: tuple(v) for r, v in per_rank.items()}
+
+
+class TestScheduleInvariance:
+    @pytest.mark.parametrize("app", ["is", "cg", "mg", "ft", "lu", "sweep3d"])
+    def test_identical_across_networks(self, app):
+        sigs = []
+        for net in ("infiniband", "myrinet", "quadrics"):
+            r = run_app(app, "S", net, 4, verify=False, sample_iters=2)
+            sigs.append(_call_signature(r.recorder))
+        assert sigs[0] == sigs[1] == sigs[2]
+
+    @pytest.mark.parametrize("app", ["lu", "mg", "sweep3d"])
+    def test_verify_and_paper_mode_share_the_schedule(self, app):
+        """Verify mode adds numerics, never communication structure
+        (finalize-phase verification traffic excluded)."""
+        paper = run_app(app, "S", "infiniband", 4, verify=False)
+        verif = run_app(app, "S", "infiniband", 4, verify=True)
+
+        def per_rank(rec):
+            d = {}
+            for c in rec.calls:
+                d.setdefault(c.rank, []).append(c.func)
+            return d
+
+        a, b = per_rank(paper.recorder), per_rank(verif.recorder)
+        # each rank's paper-mode schedule must be a prefix of its
+        # verify-mode one (verification traffic comes after the loop)
+        for rank, seq in a.items():
+            assert b[rank][:len(seq)] == seq, rank
+
+    def test_timing_differs_across_networks(self):
+        times = {net: run_app("lu", "S", net, 4, record=False).elapsed_s
+                 for net in ("infiniband", "quadrics")}
+        assert times["infiniband"] != times["quadrics"]
+
+
+class TestPerAppProfiles:
+    def test_cg_size_classes(self):
+        """CG mixes 8-byte reductions with large vector exchanges and
+        nothing in between (Table 1's signature)."""
+        r = run_app("cg", "B", "infiniband", 8, sample_iters=2)
+        hist = message_size_histogram(r.recorder)
+        assert hist["<2K"] > 1000
+        assert hist["16K-1M"] > 1000
+        assert hist["2K-16K"] == 0
+        assert hist[">1M"] == 0
+
+    def test_mg_spreads_over_levels(self):
+        """MG's per-level faces hit three buckets (Table 1)."""
+        r = run_app("mg", "B", "infiniband", 8, sample_iters=3)
+        hist = message_size_histogram(r.recorder)
+        assert hist["<2K"] > 100
+        assert hist["2K-16K"] > 100
+        assert hist["16K-1M"] > 100
+        assert hist[">1M"] == 0
+
+    def test_bt_nonblocking_avg_size(self):
+        """Table 3: BT's average non-blocking message ~293 KB."""
+        r = run_app("bt", "B", "infiniband", 4, sample_iters=3)
+        nb = nonblocking_stats(r.recorder)
+        assert 200_000 < nb["isend"]["avg_size"] < 360_000
+
+    def test_sweep3d50_all_small(self):
+        r = run_app("sweep3d", "50", "infiniband", 8, sample_iters=2)
+        hist = message_size_histogram(r.recorder)
+        assert hist["<2K"] > 10_000
+        assert hist["2K-16K"] == 0 and hist["16K-1M"] == 0
+
+    def test_ft_only_collectives(self):
+        from repro.profiling import collective_stats
+
+        r = run_app("ft", "B", "infiniband", 8, sample_iters=2)
+        cs = collective_stats(r.recorder)
+        assert cs["pct_calls"] == pytest.approx(100.0)
+
+    def test_is_has_the_only_gt1m_traffic(self):
+        small_apps = ["cg", "mg", "lu"]
+        for app in small_apps:
+            r = run_app(app, "B", "infiniband", 8, sample_iters=2)
+            assert message_size_histogram(r.recorder)[">1M"] == 0, app
+        r = run_app("is", "B", "infiniband", 8)
+        assert message_size_histogram(r.recorder)[">1M"] >= 10
+
+
+class TestElapsedScaling:
+    @pytest.mark.parametrize("app,klass", [("lu", "B"), ("mg", "B"),
+                                           ("sweep3d", "150")])
+    def test_more_ranks_is_faster(self, app, klass):
+        t = {n: run_app(app, klass, "infiniband", n, record=False,
+                        sample_iters=2).elapsed_s for n in (2, 4, 8)}
+        assert t[2] > t[4] > t[8]
+
+    def test_smp_mode_runs_all_apps(self):
+        """16 ranks on 8 nodes (the Fig. 25 configuration) executes."""
+        for app, klass in (("is", "B"), ("lu", "B")):
+            r = run_app(app, klass, "infiniband", 16, ppn=2, record=False,
+                        sample_iters=2)
+            assert r.elapsed_s > 0

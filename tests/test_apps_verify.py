@@ -1,0 +1,78 @@
+"""Application correctness: every benchmark's verify mode must pass.
+
+These run the real numerics over the simulated MPI and check against
+references (numpy solves, FFTs, serial re-computation, residual
+contraction) — the strongest end-to-end exercise of the whole stack.
+"""
+
+import pytest
+
+from repro.apps import run_app
+from repro.apps.classes import PROBLEMS, get_problem
+
+
+CASES = [
+    ("is", 2), ("is", 4), ("is", 8),
+    ("cg", 2), ("cg", 4), ("cg", 8),
+    ("mg", 2), ("mg", 4), ("mg", 8),
+    ("ft", 2), ("ft", 4),
+    ("lu", 2), ("lu", 4), ("lu", 8),
+    ("sp", 1), ("sp", 4),
+    ("bt", 1), ("bt", 4),
+    ("sweep3d", 2), ("sweep3d", 4), ("sweep3d", 8),
+]
+
+
+@pytest.mark.parametrize("app,nprocs", CASES)
+def test_verify_infiniband(app, nprocs):
+    r = run_app(app, "S", "infiniband", nprocs, verify=True)
+    assert r.verified is True
+
+
+@pytest.mark.parametrize("app,nprocs", [("is", 4), ("cg", 4), ("lu", 4),
+                                        ("ft", 4), ("sweep3d", 4)])
+def test_verify_myrinet(app, nprocs):
+    r = run_app(app, "S", "myrinet", nprocs, verify=True)
+    assert r.verified is True
+
+
+@pytest.mark.parametrize("app,nprocs", [("is", 4), ("cg", 4), ("lu", 4),
+                                        ("mg", 8), ("sweep3d", 4)])
+def test_verify_quadrics(app, nprocs):
+    r = run_app(app, "S", "quadrics", nprocs, verify=True)
+    assert r.verified is True
+
+
+@pytest.mark.parametrize("app,nprocs", [("is", 4), ("lu", 4), ("sweep3d", 4)])
+def test_verify_smp_mode(app, nprocs):
+    """2 ranks per node exercises the shared-memory / loopback paths."""
+    r = run_app(app, "S", "infiniband", nprocs, ppn=2, verify=True)
+    assert r.verified is True
+
+
+def test_results_identical_across_networks():
+    """The network changes timing, never application results."""
+    flags = [run_app("cg", "S", net, 4, verify=True).verified
+             for net in ("infiniband", "myrinet", "quadrics")]
+    assert flags == [True, True, True]
+
+
+def test_paper_mode_is_deterministic():
+    a = run_app("mg", "B", "quadrics", 4, sample_iters=2)
+    b = run_app("mg", "B", "quadrics", 4, sample_iters=2)
+    assert a.elapsed_s == b.elapsed_s
+
+
+def test_sampled_run_extrapolates():
+    cfg = get_problem("lu", "B")
+    r = run_app("lu", "B", "infiniband", 8, sample_iters=2)
+    assert r.sim_iters == 2
+    assert r.total_iters == cfg.niters
+    assert r.recorder.scale == pytest.approx(cfg.niters / 2)
+
+
+def test_every_paper_problem_has_calibration():
+    for key, cfg in PROBLEMS.items():
+        if cfg.klass != "S":
+            assert cfg.base_work_s_2ranks > 0, key
+            assert cfg.niters > 0, key

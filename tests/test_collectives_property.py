@@ -1,0 +1,142 @@
+"""Property-based collective tests: random shapes, roots, ops, groups."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MAX, MIN, PROD, SUM, mpi_run
+from repro.mpi.world import MPIWorld
+
+_OPS = {"sum": (SUM, np.sum), "max": (MAX, np.max), "min": (MIN, np.min)}
+
+
+@given(
+    nprocs=st.sampled_from([2, 3, 4, 5, 8]),
+    nelem=st.integers(min_value=1, max_value=300),
+    opname=st.sampled_from(sorted(_OPS)),
+    net=st.sampled_from(["infiniband", "myrinet", "quadrics"]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_allreduce_any_shape(nprocs, nelem, opname, net, seed):
+    """allreduce == numpy reduction for arbitrary shapes/ops/networks."""
+    op, npop = _OPS[opname]
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-10_000, 10_000, size=(nprocs, nelem)).astype(np.int64)
+    expect = npop(data, axis=0)
+
+    def fn(comm):
+        sb = comm.alloc_array(nelem, dtype=np.int64)
+        sb.data[:] = data[comm.rank]
+        rb = comm.alloc_array(nelem, dtype=np.int64)
+        yield from comm.allreduce(sb, rb, op=op)
+        assert (rb.data == expect).all()
+
+    mpi_run(fn, nprocs=nprocs, network=net)
+
+
+@given(
+    nprocs=st.sampled_from([2, 3, 4, 6]),
+    root=st.integers(min_value=0, max_value=5),
+    nelem=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_bcast_gather_roundtrip(nprocs, root, nelem, seed):
+    """scatter(root) then gather(root) is the identity."""
+    root = root % nprocs
+    rng = np.random.default_rng(seed)
+    table = rng.integers(0, 255, size=nprocs * nelem).astype(np.uint8)
+
+    def fn(comm):
+        sb = None
+        if comm.rank == root:
+            sb = comm.alloc_array(nprocs * nelem, dtype=np.uint8)
+            sb.data[:] = table
+        rb = comm.alloc_array(nelem, dtype=np.uint8)
+        yield from comm.scatter(sb, rb, root=root)
+        assert (rb.data == table[comm.rank * nelem:(comm.rank + 1) * nelem]).all()
+        gb = comm.alloc_array(nprocs * nelem, dtype=np.uint8) \
+            if comm.rank == root else None
+        yield from comm.gather(rb, gb, root=root)
+        if comm.rank == root:
+            assert (gb.data == table).all()
+
+    mpi_run(fn, nprocs=nprocs, network="quadrics")
+
+
+@given(
+    nprocs=st.sampled_from([4, 6, 8]),
+    ncolors=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_split_groups_reduce_independently(nprocs, ncolors, seed):
+    """allreduce inside split sub-communicators sums exactly the group."""
+    rng = np.random.default_rng(seed)
+    colors = [int(c) for c in rng.integers(0, ncolors, size=nprocs)]
+    vals = [int(v) for v in rng.integers(1, 1000, size=nprocs)]
+
+    def fn(comm):
+        sub = yield from comm.split(color=colors[comm.rank], key=comm.rank)
+        sb = sub.alloc_array(1, dtype=np.int64)
+        sb.data[:] = vals[comm.rank]
+        rb = sub.alloc_array(1, dtype=np.int64)
+        yield from sub.allreduce(sb, rb, op=SUM)
+        expect = sum(v for v, c in zip(vals, colors)
+                     if c == colors[comm.rank])
+        assert rb.data[0] == expect
+
+    mpi_run(fn, nprocs=nprocs, network="infiniband")
+
+
+@given(nelem=st.integers(min_value=1, max_value=64),
+       seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=15, deadline=None)
+def test_property_alltoall_is_a_transpose(nelem, seed):
+    nprocs = 4
+    rng = np.random.default_rng(seed)
+    blocks = rng.integers(0, 255, size=(nprocs, nprocs, nelem)).astype(np.uint8)
+
+    def fn(comm):
+        sb = comm.alloc_array(nprocs * nelem, dtype=np.uint8)
+        sb.data[:] = blocks[comm.rank].reshape(-1)
+        rb = comm.alloc_array(nprocs * nelem, dtype=np.uint8)
+        yield from comm.alltoall(sb, rb)
+        got = rb.data.reshape(nprocs, nelem)
+        for s in range(nprocs):
+            assert (got[s] == blocks[s, comm.rank]).all()
+
+    mpi_run(fn, nprocs=nprocs, network="myrinet")
+
+
+class TestWorldIsolation:
+    def test_two_worlds_share_nothing(self):
+        """Building a second world never leaks state from the first."""
+        def fn(comm):
+            sb = comm.alloc_array(2, dtype=np.int64)
+            sb.data[:] = comm.rank
+            rb = comm.alloc_array(2, dtype=np.int64)
+            yield from comm.allreduce(sb, rb, op=SUM)
+            return int(rb.data[0])
+
+        w1 = MPIWorld(4, network="infiniband")
+        w2 = MPIWorld(3, network="infiniband")
+        r1 = w1.run(fn)
+        r2 = w2.run(fn)
+        assert r1.returns == [6, 6, 6, 6]
+        assert r2.returns == [3, 3, 3]
+        # peer tables are per-world (the shmem channel must not cross)
+        assert w1.devices[0].peers is not w2.devices[0].peers
+
+    def test_interleaved_world_construction(self):
+        """Worlds built before another finishes running stay correct."""
+        def fn(comm):
+            yield from comm.barrier()
+            return comm.sim.now
+
+        worlds = [MPIWorld(2, network=n) for n in
+                  ("infiniband", "myrinet", "quadrics")]
+        outs = [w.run(fn).returns[0] for w in worlds]
+        assert len(set(outs)) == 3  # three different barrier times

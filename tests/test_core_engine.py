@@ -1,0 +1,246 @@
+"""Unit tests for the discrete-event kernel (events, processes, clock)."""
+
+import pytest
+
+from repro.core.engine import Event, SimulationError, Simulator, Timeout
+from repro.core.process import Process, ProcessKilled
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        ev = sim.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed(42, delay=3.0)
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 3.0
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_late_callback_fires_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("v")
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["v"]
+
+    def test_ok_and_exception_properties(self):
+        sim = Simulator()
+        good = sim.event()
+        good.succeed(1)
+        assert good.ok and good.exception is None
+        bad = sim.event()
+        err = ValueError("boom")
+        bad.fail(err)
+        assert not bad.ok
+        assert bad.exception is err
+        with pytest.raises(ValueError):
+            _ = bad.value
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Timeout(sim, -1.0)
+
+    def test_timeout_ordering_is_fifo_for_ties(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            t = sim.timeout(1.0, value=i)
+            t.add_callback(lambda e: order.append(e.value))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_monotonically(self):
+        sim = Simulator()
+        stamps = []
+        for d in (5.0, 1.0, 3.0):
+            sim.timeout(d).add_callback(lambda e: stamps.append(sim.now))
+        sim.run()
+        assert stamps == [1.0, 3.0, 5.0]
+
+
+class TestProcess:
+    def test_return_value_becomes_event_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(2)
+            return "done"
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.value == "done"
+        assert not p.is_alive
+
+    def test_exception_propagates_to_joiner(self):
+        sim = Simulator()
+
+        def bad():
+            yield sim.timeout(1)
+            raise ValueError("inner")
+
+        def joiner():
+            yield sim.spawn(bad())
+
+        j = sim.spawn(joiner())
+        sim.run()
+        assert isinstance(j.exception, ValueError)
+
+    def test_yielding_non_event_is_an_error(self):
+        sim = Simulator()
+
+        def wrong():
+            yield 42
+
+        p = sim.spawn(wrong())
+        sim.run()
+        assert isinstance(p.exception, SimulationError)
+
+    def test_requires_generator(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            Process(sim, lambda: None)  # type: ignore[arg-type]
+
+    def test_kill_stops_process(self):
+        sim = Simulator()
+        log = []
+
+        def immortal():
+            try:
+                while True:
+                    yield sim.timeout(1)
+                    log.append(sim.now)
+            except ProcessKilled:
+                log.append("killed")
+                raise
+
+        p = sim.spawn(immortal())
+
+        def killer():
+            yield sim.timeout(2.5)
+            p.kill()
+
+        sim.spawn(killer())
+        sim.run()
+        assert log == [1.0, 2.0, "killed"]
+        assert not p.is_alive
+
+    def test_processes_interleave_deterministically(self):
+        sim = Simulator()
+        log = []
+
+        def worker(name, period):
+            for _ in range(3):
+                yield sim.timeout(period)
+                log.append((name, sim.now))
+
+        sim.spawn(worker("a", 1.0))
+        sim.spawn(worker("b", 1.0))
+        sim.run()
+        assert log == [("a", 1.0), ("b", 1.0), ("a", 2.0), ("b", 2.0),
+                       ("a", 3.0), ("b", 3.0)]
+
+    def test_subgenerator_with_yield_from(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(1)
+            return 10
+
+        def outer():
+            v = yield from inner()
+            yield sim.timeout(1)
+            return v + 1
+
+        p = sim.spawn(outer())
+        sim.run()
+        assert p.value == 11
+        assert sim.now == 2.0
+
+
+class TestRun:
+    def test_run_until_event(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(4)
+            return "x"
+
+        p = sim.spawn(proc())
+        sim.timeout(100)  # later noise event
+        assert sim.run(until_event=p) == "x"
+        assert sim.now == 4.0
+
+    def test_run_until_time_stops_clock(self):
+        sim = Simulator()
+        sim.timeout(10)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_deadlock_detection(self):
+        sim = Simulator()
+
+        def stuck():
+            yield sim.event()  # never triggered
+
+        p = sim.spawn(stuck())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(until_event=p)
+
+    def test_horizon_exceeded_while_waiting(self):
+        sim = Simulator()
+
+        def slow():
+            yield sim.timeout(100)
+
+        p = sim.spawn(slow())
+        with pytest.raises(SimulationError, match="horizon"):
+            sim.run(until=10.0, until_event=p)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.timeout(1)
+        sim.run()
+        assert sim.events_processed == 7
+
+
+class TestClockSemantics:
+    def test_run_until_advances_clock_on_early_drain(self):
+        sim = Simulator()
+        sim.timeout(3.0)
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+
+    def test_priority_orders_same_timestamp(self):
+        from repro.core.engine import PRIO_NORMAL, PRIO_URGENT
+
+        sim = Simulator()
+        order = []
+        normal = sim.event()
+        urgent = sim.event()
+        normal.add_callback(lambda e: order.append("normal"))
+        urgent.add_callback(lambda e: order.append("urgent"))
+        normal.succeed(delay=1.0, priority=PRIO_NORMAL)
+        urgent.succeed(delay=1.0, priority=PRIO_URGENT)
+        sim.run()
+        assert order == ["urgent", "normal"]

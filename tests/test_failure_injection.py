@@ -1,0 +1,192 @@
+"""Failure injection: how the stack reports misuse and broken programs.
+
+A simulator that only models the happy path is easy to trust and wrong;
+these tests drive the error machinery end to end — deadlocks, truncated
+receives, token exhaustion, double completion, killed processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SimulationError, Simulator
+from repro.hardware.memory import RegistrationError
+from repro.mpi import mpi_run
+from repro.mpi.request import Request
+from repro.mpi.world import MPIWorld
+
+
+class TestProgramErrors:
+    def test_missing_send_deadlocks_with_diagnostic(self, network):
+        def fn(comm):
+            buf = comm.alloc(8)
+            if comm.rank == 1:
+                yield from comm.recv(buf, source=0, tag=0)
+            else:
+                yield comm.sim.timeout(1.0)
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            mpi_run(fn, nprocs=2, network=network)
+
+    def test_mismatched_tags_deadlock(self, network):
+        def fn(comm):
+            buf = comm.alloc(8)
+            if comm.rank == 0:
+                yield from comm.send(buf, dest=1, tag=1)
+                yield from comm.recv(buf, source=1, tag=2)
+            else:
+                yield from comm.recv(buf, source=0, tag=99)  # wrong tag
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            mpi_run(fn, nprocs=2, network=network)
+
+    def test_truncating_rendezvous_receive_raises(self):
+        """A 64 KB send into a 1 KB receive is an RDMA overflow."""
+        def fn(comm):
+            if comm.rank == 0:
+                big = comm.alloc(64 * 1024)
+                yield from comm.send(big, dest=1, tag=0)
+            else:
+                small = comm.alloc(1024)
+                yield from comm.recv(small, source=0, tag=0)
+
+        with pytest.raises(RegistrationError):
+            mpi_run(fn, nprocs=2, network="infiniband")
+
+    def test_rank_crash_mid_collective_propagates(self, network):
+        def fn(comm):
+            sb = comm.alloc_array(4, dtype=np.float64)
+            rb = comm.alloc_array(4, dtype=np.float64)
+            if comm.rank == 2:
+                raise RuntimeError("injected fault on rank 2")
+            yield from comm.allreduce(sb, rb)
+
+        with pytest.raises(RuntimeError, match="injected fault"):
+            mpi_run(fn, nprocs=4, network=network)
+
+    def test_exception_reports_before_other_ranks_hang(self, network):
+        """The failing rank's error surfaces rather than a deadlock."""
+        def fn(comm):
+            buf = comm.alloc(8)
+            if comm.rank == 0:
+                yield comm.sim.timeout(1.0)
+                raise ValueError("boom")
+            yield from comm.recv(buf, source=0, tag=0)
+
+        with pytest.raises((ValueError, SimulationError)):
+            mpi_run(fn, nprocs=2, network=network)
+
+
+class TestApiMisuse:
+    def test_double_complete_rejected(self):
+        sim = Simulator()
+        req = Request(sim, "send", 0, 1, 0, 0, 8)
+        req.complete()
+        with pytest.raises(RuntimeError, match="twice"):
+            req.complete()
+
+    def test_bad_request_kind(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Request(sim, "put", 0, 1, 0, 0, 8)
+
+    def test_persistent_start_while_active(self):
+        def fn(comm):
+            # rendezvous-sized so the send stays active until the
+            # receiver posts (an eager send completes immediately)
+            buf = comm.alloc(64 * 1024)
+            if comm.rank == 0:
+                pr = comm.send_init(buf, dest=1, tag=0)
+                yield from comm.start(pr)
+                with pytest.raises(RuntimeError, match="active"):
+                    yield from comm.start(pr)
+                yield from comm.wait(pr)
+            else:
+                yield comm.cpu.compute(100.0)
+                yield from comm.recv(buf, source=0, tag=0)
+
+        mpi_run(fn, nprocs=2, network="myrinet")
+
+    def test_wait_on_inactive_persistent(self):
+        def fn(comm):
+            buf = comm.alloc(8)
+            pr = comm.send_init(buf, dest=comm.rank, tag=0)
+            with pytest.raises(RuntimeError, match="inactive"):
+                yield from comm.wait(pr)
+
+        mpi_run(fn, nprocs=1, network="infiniband")
+
+    def test_typed_send_overflow(self):
+        from repro.mpi.datatypes import DOUBLE
+
+        def fn(comm):
+            buf = comm.alloc(64)  # room for 8 doubles
+            with pytest.raises(ValueError, match="exceeds"):
+                yield from comm.send_typed(buf, 100, DOUBLE, dest=comm.rank)
+
+        mpi_run(fn, nprocs=1, network="infiniband")
+
+    def test_datatype_validation(self):
+        from repro.mpi.datatypes import DOUBLE, Datatype, contiguous, vector
+
+        with pytest.raises(ValueError):
+            Datatype("bad", 0, 0)
+        with pytest.raises(ValueError):
+            contiguous(0, DOUBLE)
+        with pytest.raises(ValueError):
+            vector(4, 4, 2, DOUBLE)  # stride < blocklen
+
+    def test_collective_on_dataless_buffers_still_times(self, network):
+        """Paper-mode (dataless) collectives run without numerics."""
+        def fn(comm):
+            sb = comm.alloc(1024)
+            rb = comm.alloc(1024)
+            yield from comm.allreduce(sb, rb)
+            yield from comm.alltoall(comm.alloc(1024 * comm.size),
+                                     comm.alloc(1024 * comm.size))
+
+        res = mpi_run(fn, nprocs=4, network=network)
+        assert res.elapsed_us > 0
+
+
+class TestProcessFailures:
+    def test_killed_process_does_not_wedge_engine(self):
+        sim = Simulator()
+
+        def loops():
+            while True:
+                yield sim.timeout(1.0)
+
+        victim = sim.spawn(loops())
+
+        def killer():
+            yield sim.timeout(5.0)
+            victim.kill()
+
+        sim.spawn(killer())
+        sim.run()
+        assert not victim.is_alive
+        assert sim.now == pytest.approx(5.0)
+
+    def test_gm_token_error_reaches_the_caller(self):
+        from repro.networks.myrinet.gm import GmTokenError
+
+        def fn(comm):
+            # bypass the device's flow control to hit GM's own guard
+            gm = comm.ep.device.gm
+            buf = comm.alloc(64)
+            for _ in range(gm.send_tokens):
+                gm.send_with_callback(1, buf)
+            with pytest.raises(GmTokenError):
+                gm.send_with_callback(1, buf)
+            yield comm.sim.timeout(1.0)
+
+        def peer(comm):
+            yield comm.sim.timeout(1.0)
+
+        def dispatch(comm):
+            if comm.rank == 0:
+                yield from fn(comm)
+            else:
+                yield from peer(comm)
+
+        mpi_run(dispatch, nprocs=2, network="myrinet")

@@ -1,0 +1,83 @@
+"""Golden timing regressions.
+
+Pins exact simulated timings for a handful of scenarios.  The simulator
+is deterministic, so any change to these values means a model change —
+which must be deliberate (recalibration) rather than accidental.  When
+a calibration change is intentional, update the constants here and the
+measured columns in EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro.microbench import measure_bandwidth, measure_latency
+from repro.microbench.latency import pingpong_fn
+from repro.mpi.world import MPIWorld
+
+#: (network, nbytes) -> expected one-way latency, 20 iterations (µs)
+GOLDEN_LATENCY = {
+    ("infiniband", 4): 6.6123,
+    ("infiniband", 16384): 37.2014,
+    ("myrinet", 4): 6.9556,
+    ("quadrics", 4): 4.5425,
+}
+
+#: (network,) -> expected 1 MB W=16 bandwidth, 8 rounds (MB/s)
+GOLDEN_BANDWIDTH = {
+    "infiniband": 842.86,
+    "myrinet": 236.15,
+    "quadrics": 310.32,
+}
+
+
+class TestGoldenTimings:
+    @pytest.mark.parametrize("key", sorted(GOLDEN_LATENCY))
+    def test_latency_pinned(self, key):
+        net, nbytes = key
+        got = measure_latency(net, sizes=(nbytes,), iters=25).at(nbytes)
+        assert got == pytest.approx(GOLDEN_LATENCY[key], abs=0.05), (
+            f"{key}: model drift — got {got:.4f}, "
+            f"golden {GOLDEN_LATENCY[key]:.4f}. If this recalibration is "
+            "intentional, update GOLDEN_* and EXPERIMENTS.md together.")
+
+    @pytest.mark.parametrize("net", sorted(GOLDEN_BANDWIDTH))
+    def test_bandwidth_pinned(self, net):
+        got = measure_bandwidth(net, sizes=(1 << 20,), window=16,
+                                rounds=10).at(1 << 20)
+        assert got == pytest.approx(GOLDEN_BANDWIDTH[net], rel=0.005), net
+
+    def test_exact_bit_for_bit_repeatability(self):
+        """Not approximately equal — *equal*."""
+        def run():
+            w = MPIWorld(2, network="myrinet", record=False)
+            return w.run(pingpong_fn, args=(1024, 10, 2)).returns[0]
+
+        a, b = run(), run()
+        assert a == b
+
+
+#: (app, network) -> class-B 8-node time, sample_iters=2 (seconds)
+GOLDEN_APPS = {
+    ("is", "infiniband"): 2.0223,
+    ("lu", "infiniband"): 163.3385,
+    ("is", "myrinet"): 2.3503,
+    ("lu", "myrinet"): 163.7384,
+    ("is", "quadrics"): 2.2719,
+    ("lu", "quadrics"): 164.3527,
+}
+
+
+class TestGoldenApplications:
+    @pytest.mark.parametrize("key", sorted(GOLDEN_APPS))
+    def test_app_time_pinned(self, key):
+        from repro.apps import run_app
+
+        app, net = key
+        r = run_app(app, "B", net, 8, record=False, sample_iters=2)
+        assert r.elapsed_s == pytest.approx(GOLDEN_APPS[key], abs=5e-4), key
+
+    def test_app_runs_repeat_exactly(self):
+        from repro.apps import run_app
+
+        a = run_app("lu", "B", "quadrics", 8, record=False, sample_iters=2)
+        b = run_app("lu", "B", "quadrics", 8, record=False, sample_iters=2)
+        assert a.elapsed_s == b.elapsed_s

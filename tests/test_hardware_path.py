@@ -1,0 +1,131 @@
+"""Tests for pipeline paths: cut-through, store-and-forward, contention."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import Simulator
+from repro.core.resources import FifoServer
+from repro.hardware.path import PipelinePath, Stage, chunk_sizes
+
+
+def make_path(sim, bws, chunk=16 * 1024, overheads=None, cut=None, split=None):
+    stages = []
+    for i, bw in enumerate(bws):
+        srv = FifoServer(sim, bw, name=f"s{i}")
+        stages.append(Stage(
+            srv,
+            overhead_us=(overheads[i] if overheads else 0.0),
+            cut_through=(cut[i] if cut else True),
+        ))
+    return PipelinePath(sim, stages, chunk_bytes=chunk, split_stage=split)
+
+
+class TestChunking:
+    def test_exact_multiple(self):
+        assert chunk_sizes(32768, 16384) == [16384, 16384]
+
+    def test_remainder(self):
+        assert chunk_sizes(20000, 16384) == [16384, 3616]
+
+    def test_zero_is_single_empty_chunk(self):
+        assert chunk_sizes(0, 16384) == [0]
+
+
+class TestCutThrough:
+    def test_serialization_paid_once_at_bottleneck(self):
+        """Cut-through: total time ~= overheads + max serialization."""
+        sim = Simulator()
+        path = make_path(sim, bws=[1000.0, 100.0, 1000.0])
+        _, delivered = path.schedule(10_000, start=0.0)
+        # bottleneck = 10000/100 = 100us; fast stages add ~10us each
+        assert delivered == pytest.approx(100.0, rel=0.25)
+
+    def test_store_and_forward_adds_full_serialization(self):
+        sim = Simulator()
+        cut = make_path(sim, bws=[100.0, 100.0])
+        snf = make_path(sim, bws=[100.0, 100.0], cut=[True, False])
+        _, t_cut = cut.schedule(10_000, start=0.0)
+        _, t_snf = snf.schedule(10_000, start=0.0)
+        # S&F waits for the tail before forwarding: ~2x one serialization
+        assert t_snf == pytest.approx(2 * t_cut, rel=0.05)
+        assert t_cut == pytest.approx(100.0, rel=0.05)
+
+    def test_latency_hop_adds_fixed_time(self):
+        sim = Simulator()
+        srv = FifoServer(sim, 1000.0)
+        path = PipelinePath(sim, [Stage(srv, latency_us=5.0)])
+        _, t = path.schedule(0, start=0.0)
+        assert t == pytest.approx(5.0)
+
+    def test_first_chunk_extra_charged_once(self):
+        sim = Simulator()
+        srv = FifoServer(sim, 1000.0)
+        path = PipelinePath(sim, [Stage(srv, first_chunk_extra_us=3.0)],
+                            chunk_bytes=1000)
+        _, t = path.schedule(3000, start=0.0)
+        # 3 chunks of 1us each + 3us extra on the first only
+        assert t == pytest.approx(6.0)
+
+    def test_charge_first_extra_flag(self):
+        sim = Simulator()
+        srv = FifoServer(sim, 1000.0)
+        path = PipelinePath(sim, [Stage(srv, first_chunk_extra_us=3.0)],
+                            chunk_bytes=1000)
+        _, t = path.schedule(1000, start=0.0, charge_first_extra=False)
+        assert t == pytest.approx(1.0)
+
+    def test_trailing_occupancy_delays_followers_not_self(self):
+        sim = Simulator()
+        srv = FifoServer(sim, 1000.0)
+        path = PipelinePath(sim, [Stage(srv, trailing_us=5.0)], chunk_bytes=1 << 20)
+        _, t1 = path.schedule(1000, start=0.0)
+        assert t1 == pytest.approx(1.0)       # own delivery unaffected
+        _, t2 = path.schedule(1000, start=0.0)
+        assert t2 == pytest.approx(7.0)       # follower queues behind trailing
+
+
+class TestThroughput:
+    def test_steady_state_rate_is_bottleneck(self):
+        """Many messages: sustained rate == slowest stage bandwidth."""
+        sim = Simulator()
+        path = make_path(sim, bws=[500.0, 200.0, 800.0])
+        total = 0
+        last = 0.0
+        for _ in range(50):
+            _, last = path.schedule(16 * 1024, start=0.0)
+            total += 16 * 1024
+        assert total / last == pytest.approx(200.0, rel=0.02)
+
+    def test_local_stage_completion_precedes_delivery(self):
+        sim = Simulator()
+        path = make_path(sim, bws=[1000.0, 10.0])
+        local, delivered = path.schedule(10_000, start=0.0, local_stage=0)
+        assert local < delivered
+        assert local == pytest.approx(10.0, rel=0.1)
+
+    @given(nbytes=st.integers(min_value=1, max_value=1 << 20),
+           bw=st.floats(min_value=1.0, max_value=5000.0))
+    @settings(max_examples=50, deadline=None)
+    def test_property_delivery_at_least_serialization(self, nbytes, bw):
+        sim = Simulator()
+        path = make_path(sim, bws=[bw])
+        _, t = path.schedule(nbytes, start=0.0)
+        assert t >= nbytes / bw - 1e-6
+
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=100_000),
+                          min_size=2, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_property_fifo_delivery_order(self, sizes):
+        """Messages on one path deliver in send order."""
+        sim = Simulator()
+        path = make_path(sim, bws=[300.0, 150.0, 300.0])
+        times = [path.schedule(n, start=0.0)[1] for n in sizes]
+        assert times == sorted(times)
+
+    def test_zero_load_latency_matches_fresh_schedule(self):
+        sim = Simulator()
+        path = make_path(sim, bws=[400.0, 100.0], overheads=[0.5, 0.2])
+        expected = path.zero_load_latency(40_000)
+        _, got = path.schedule(40_000, start=0.0)
+        assert got == pytest.approx(expected)

@@ -1,0 +1,112 @@
+"""Tests for microbench utilities, unit conversions, and tracing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tracing import Tracer
+from repro.core.units import (KB, MB, bytes_per_us_to_mbps, fmt_size,
+                              gbit_to_bytes_per_us, mbps_to_bytes_per_us,
+                              s_to_us, us_to_s)
+from repro.microbench.common import Series, bandwidth_mbps
+
+
+class TestUnits:
+    @given(st.floats(min_value=0.001, max_value=1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_property_mbps_roundtrip(self, v):
+        assert bytes_per_us_to_mbps(mbps_to_bytes_per_us(v)) == pytest.approx(v)
+
+    def test_paper_mb_convention(self):
+        # 1 MB/s (paper) = 2^20 bytes per 10^6 us
+        assert mbps_to_bytes_per_us(1.0) == pytest.approx(MB / 1e6)
+
+    def test_gbit_conversion(self):
+        # 2 Gbps Myrinet link = 250e6 B/s = 250 B/us
+        assert gbit_to_bytes_per_us(2.0) == pytest.approx(250.0)
+
+    def test_time_roundtrip(self):
+        assert us_to_s(s_to_us(3.5)) == pytest.approx(3.5)
+
+    @pytest.mark.parametrize("n,txt", [(4, "4"), (KB, "1K"), (16 * KB, "16K"),
+                                       (MB, "1M"), (3 * KB + 1, "3073")])
+    def test_fmt_size(self, n, txt):
+        assert fmt_size(n) == txt
+
+
+class TestSeries:
+    def test_at_and_missing(self):
+        s = Series("x", [(4, 1.5)])
+        assert s.at(4) == 1.5
+        with pytest.raises(KeyError):
+            s.at(8)
+
+    def test_add_and_axes(self):
+        s = Series("x")
+        s.add(1, 10.0)
+        s.add(2, 20.0)
+        assert s.xs == [1, 2] and s.ys == [10.0, 20.0]
+
+    def test_fmt_contains_label(self):
+        s = Series("mylabel", [(1024, 3.0)])
+        assert "mylabel" in s.fmt()
+        assert "1K" in s.fmt()
+
+    def test_bandwidth_mbps(self):
+        # 2^20 bytes in 10^6 us = 1 MB/s (paper convention)
+        assert bandwidth_mbps(MB, 1e6) == pytest.approx(1.0)
+        assert bandwidth_mbps(100, 0) == 0.0
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        t = Tracer()
+        t.emit(1.0, "cat", "actor", "detail")
+        assert len(t) == 0
+
+    def test_category_filter(self):
+        t = Tracer(enabled=True, categories={"keep"})
+        t.emit(1.0, "keep", "a", "x")
+        t.emit(2.0, "drop", "a", "y")
+        assert len(t) == 1
+        assert list(t.filter(category="keep"))[0].detail == "x"
+
+    def test_actor_filter_and_dump(self):
+        t = Tracer(enabled=True)
+        for i in range(5):
+            t.emit(float(i), "c", f"actor{i % 2}", f"d{i}")
+        assert len(list(t.filter(actor="actor0"))) == 3
+        dump = t.dump(limit=2)
+        assert "d0" in dump and "more" in dump
+
+    def test_clear(self):
+        t = Tracer(enabled=True)
+        t.emit(0.0, "c", "a", "d")
+        t.clear()
+        assert len(t) == 0
+
+
+class TestMicrobenchSanity:
+    def test_latency_monotone_in_size(self, network):
+        from repro.microbench import measure_latency
+
+        s = measure_latency(network, sizes=(16, 1024, 16384), iters=10)
+        assert s.ys == sorted(s.ys)
+
+    def test_bandwidth_rises_with_size_large(self, network):
+        from repro.microbench import measure_bandwidth
+
+        s = measure_bandwidth(network, sizes=(16384, 262144, 1048576), rounds=5)
+        assert s.ys[-1] >= s.ys[0]
+
+    def test_overlap_nonnegative(self):
+        from repro.microbench import measure_overlap
+
+        s = measure_overlap("quadrics", sizes=(4, 4096), iters=4)
+        assert all(y >= 0 for y in s.ys)
+
+    def test_memusage_counts_match_nodes(self):
+        from repro.microbench import measure_memory_usage
+
+        s = measure_memory_usage("myrinet", node_counts=(2, 4, 6))
+        assert s.xs == [2, 4, 6]

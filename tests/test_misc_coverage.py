@@ -1,0 +1,138 @@
+"""Odds and ends: cancellation, dup chains, run horizons, reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SimulationError, Simulator
+from repro.hardware.cluster import Cluster
+from repro.hardware.memory import AddressSpace
+from repro.mpi import SUM, mpi_run
+from repro.mpi.world import MPIWorld
+from repro.networks import make_fabric
+
+
+class TestTportsCancellation:
+    def test_cancel_posted_rx(self):
+        sim = Simulator()
+        fab = make_fabric("quadrics", sim, Cluster(sim, 2))
+        fab.attach(0, 0)
+        fab.attach(1, 1)
+        tp = fab.tport(1)
+        h = tp.rx(src_sel=0, tag_sel=9, buf=AddressSpace(1).alloc(64))
+        assert tp.cancel_rx(h) is True
+        assert tp.cancel_rx(h) is False  # already removed
+        # a message for the cancelled tag now parks as unexpected
+        tp0 = fab.tport(0)
+        tp0.tx(1, 9, AddressSpace(0).alloc(16))
+        sim.run()
+        assert tp.peek(0, 9) is not None
+
+    def test_peek_does_not_consume(self):
+        sim = Simulator()
+        fab = make_fabric("quadrics", sim, Cluster(sim, 2))
+        fab.attach(0, 0)
+        fab.attach(1, 1)
+        fab.tport(0).tx(1, 5, AddressSpace(0).alloc(16))
+        sim.run()
+        tp1 = fab.tport(1)
+        assert tp1.peek(0, 5) is not None
+        assert tp1.peek(0, 5) is not None  # still there
+        assert tp1.peek(0, 6) is None
+
+
+class TestCommunicatorManagement:
+    def test_dup_chain_contexts_unique(self, network):
+        def fn(comm):
+            d1 = comm.dup()
+            d2 = d1.dup()
+            d3 = comm.dup()
+            ctxs = {comm.ctx, d1.ctx, d2.ctx, d3.ctx}
+            assert len(ctxs) == 4
+            yield comm.sim.timeout(0)
+            return sorted(ctxs)
+
+        res = mpi_run(fn, nprocs=3, network=network)
+        # every rank derived the same context chain
+        assert res.returns[0] == res.returns[1] == res.returns[2]
+
+    def test_nested_split(self):
+        def fn(comm):
+            half = yield from comm.split(color=comm.rank // 4, key=comm.rank)
+            quarter = yield from half.split(color=half.rank // 2, key=half.rank)
+            assert quarter.size == 2
+            sb = quarter.alloc_array(1, dtype=np.int64)
+            sb.data[:] = comm.rank
+            rb = quarter.alloc_array(1, dtype=np.int64)
+            yield from quarter.allreduce(sb, rb, op=SUM)
+            partner = comm.rank + 1 if comm.rank % 2 == 0 else comm.rank - 1
+            assert rb.data[0] == comm.rank + partner
+
+        mpi_run(fn, nprocs=8, network="myrinet")
+
+
+class TestRunHorizon:
+    def test_world_run_until_raises_on_overrun(self):
+        def fn(comm):
+            yield comm.cpu.compute(10_000.0)
+
+        world = MPIWorld(2, network="infiniband", record=False)
+        with pytest.raises(SimulationError, match="horizon"):
+            world.run(fn, until=100.0)
+
+    def test_world_run_until_passes_when_fast_enough(self):
+        def fn(comm):
+            yield comm.cpu.compute(10.0)
+
+        world = MPIWorld(2, network="infiniband", record=False)
+        res = world.run(fn, until=1000.0)
+        assert res.elapsed_us <= 1000.0
+
+
+class TestProfileReportEdge:
+    def test_report_with_paper_row(self):
+        from repro.apps import run_app
+        from repro.profiling.report import app_profile_report
+
+        res = run_app("is", "S", "infiniband", 4, sample_iters=2)
+        txt = app_profile_report(
+            "is.S", res.recorder,
+            paper_row={"message_sizes": {"<2K": 14, "2K-16K": 11,
+                                         "16K-1M": 0, ">1M": 11}})
+        assert "paper:" in txt and "<2K=14" in txt
+
+    def test_empty_recorder_report(self):
+        from repro.profiling.recorder import Recorder
+        from repro.profiling.report import app_profile_report
+
+        txt = app_profile_report("empty", Recorder())
+        assert "0.00%" in txt  # rates degrade to zero, no crashes
+
+
+class TestRecorderEdges:
+    def test_enabled_flag_gates_recording(self):
+        from repro.profiling.recorder import Recorder
+
+        rec = Recorder()
+        rec.enabled = False
+        rec.record_call(0, "send", 1, 8, 0, 0.0, 1.0, True, False, True)
+        rec.record_transfer(0, 1, 8, False)
+        assert rec.ncalls == 0 and not rec.transfers
+
+    def test_total_volume(self):
+        from repro.profiling.recorder import Recorder
+
+        rec = Recorder()
+        rec.record_transfer(0, 1, 100, False)
+        rec.record_transfer(1, 0, 50, True)
+        assert rec.total_volume == 150
+
+    def test_collective_depth_nesting(self):
+        from repro.profiling.recorder import Recorder
+
+        rec = Recorder()
+        rec.enter_collective(0)
+        rec.enter_collective(0)
+        rec.exit_collective(0)
+        assert rec.in_collective(0)
+        rec.exit_collective(0)
+        assert not rec.in_collective(0)

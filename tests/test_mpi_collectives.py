@@ -1,0 +1,235 @@
+"""Collective correctness across devices, verified against numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MAX, MIN, PROD, SUM, mpi_run
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self, network):
+        def fn(comm):
+            yield comm.cpu.compute(comm.rank * 100.0)  # staggered arrival
+            yield from comm.barrier()
+            return comm.sim.now
+
+        res = mpi_run(fn, nprocs=4, network=network)
+        # all ranks leave the barrier after the slowest arrived
+        assert min(res.returns) >= 300.0
+
+    def test_barrier_single_rank(self, network):
+        def fn(comm):
+            yield from comm.barrier()
+
+        mpi_run(fn, nprocs=1, network=network)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_bcast_values(self, network, root):
+        def fn(comm):
+            buf = comm.alloc_array(32, dtype=np.float64)
+            if comm.rank == root:
+                buf.data[:] = np.arange(32) * 1.5
+            yield from comm.bcast(buf, root=root)
+            assert np.allclose(buf.data, np.arange(32) * 1.5)
+
+        mpi_run(fn, nprocs=5, network=network)
+
+
+class TestReduceAllreduce:
+    @pytest.mark.parametrize("op,npop", [(SUM, np.sum), (MAX, np.max), (MIN, np.min)])
+    def test_reduce_ops(self, network, op, npop):
+        nprocs = 4
+
+        def fn(comm):
+            sb = comm.alloc_array(16, dtype=np.float64)
+            sb.data[:] = (comm.rank + 1) * np.arange(1, 17)
+            rb = comm.alloc_array(16, dtype=np.float64)
+            yield from comm.reduce(sb, rb, op=op, root=0)
+            if comm.rank == 0:
+                contributions = np.array([(r + 1) * np.arange(1, 17)
+                                          for r in range(comm.size)])
+                assert np.allclose(rb.data, npop(contributions, axis=0))
+
+        mpi_run(fn, nprocs=nprocs, network=network)
+
+    def test_allreduce_everyone_gets_result(self, network):
+        def fn(comm):
+            sb = comm.alloc_array(8, dtype=np.int64)
+            sb.data[:] = comm.rank + 1
+            rb = comm.alloc_array(8, dtype=np.int64)
+            yield from comm.allreduce(sb, rb, op=SUM)
+            expect = comm.size * (comm.size + 1) // 2
+            assert (rb.data == expect).all()
+
+        for n in (2, 4, 8):
+            mpi_run(fn, nprocs=n, network=network)
+
+    def test_allreduce_non_power_of_two(self, network):
+        def fn(comm):
+            sb = comm.alloc_array(4, dtype=np.float64)
+            sb.data[:] = float(comm.rank)
+            rb = comm.alloc_array(4, dtype=np.float64)
+            yield from comm.allreduce(sb, rb, op=SUM)
+            assert np.allclose(rb.data, sum(range(comm.size)))
+
+        mpi_run(fn, nprocs=6, network=network)
+
+    def test_allreduce_prod(self, network):
+        def fn(comm):
+            sb = comm.alloc_array(4, dtype=np.float64)
+            sb.data[:] = 2.0
+            rb = comm.alloc_array(4, dtype=np.float64)
+            yield from comm.allreduce(sb, rb, op=PROD)
+            assert np.allclose(rb.data, 2.0 ** comm.size)
+
+        mpi_run(fn, nprocs=4, network=network)
+
+
+class TestAlltoall:
+    def test_alltoall_transpose(self, network):
+        nprocs, blk = 4, 8  # 8 int64 per block
+
+        def fn(comm):
+            sb = comm.alloc_array(nprocs * blk, dtype=np.int64)
+            for d in range(nprocs):
+                sb.data[d * blk:(d + 1) * blk] = comm.rank * 100 + d
+            rb = comm.alloc_array(nprocs * blk, dtype=np.int64)
+            yield from comm.alltoall(sb, rb)
+            for s in range(nprocs):
+                assert (rb.data[s * blk:(s + 1) * blk] == s * 100 + comm.rank).all()
+
+        mpi_run(fn, nprocs=nprocs, network=network)
+
+    def test_alltoallv_uneven(self, network):
+        nprocs = 3
+
+        def fn(comm):
+            # rank r sends (d+1) bytes of value r*10+d to rank d
+            sendcounts = [d + 1 for d in range(nprocs)]
+            recvcounts = [comm.rank + 1] * nprocs
+            sb = comm.alloc_array(sum(sendcounts), dtype=np.uint8)
+            off = 0
+            for d in range(nprocs):
+                sb.data[off:off + d + 1] = comm.rank * 10 + d
+                off += d + 1
+            rb = comm.alloc_array(sum(recvcounts), dtype=np.uint8)
+            yield from comm.alltoallv(sb, sendcounts, rb, recvcounts)
+            for s in range(nprocs):
+                seg = rb.data[s * (comm.rank + 1):(s + 1) * (comm.rank + 1)]
+                assert (seg == s * 10 + comm.rank).all()
+
+        mpi_run(fn, nprocs=nprocs, network=network)
+
+    def test_alltoallv_bad_counts(self, network):
+        def fn(comm):
+            sb = comm.alloc(8)
+            rb = comm.alloc(8)
+            yield from comm.alltoallv(sb, [1], rb, [1, 1])
+
+        with pytest.raises(ValueError):
+            mpi_run(fn, nprocs=2, network=network)
+
+
+class TestGatherScatterAllgather:
+    def test_allgather_ring(self, network):
+        nprocs, blk = 5, 4
+
+        def fn(comm):
+            sb = comm.alloc_array(blk, dtype=np.int64)
+            sb.data[:] = comm.rank
+            rb = comm.alloc_array(nprocs * blk, dtype=np.int64)
+            yield from comm.allgather(sb, rb)
+            for r in range(nprocs):
+                assert (rb.data[r * blk:(r + 1) * blk] == r).all()
+
+        mpi_run(fn, nprocs=nprocs, network=network)
+
+    def test_gather_to_root(self, network):
+        nprocs = 4
+
+        def fn(comm):
+            sb = comm.alloc_array(2, dtype=np.float64)
+            sb.data[:] = comm.rank + 0.5
+            rb = comm.alloc_array(2 * nprocs, dtype=np.float64) if comm.rank == 1 else None
+            yield from comm.gather(sb, rb, root=1)
+            if comm.rank == 1:
+                assert np.allclose(rb.data.reshape(nprocs, 2)[:, 0],
+                                   np.arange(nprocs) + 0.5)
+
+        mpi_run(fn, nprocs=nprocs, network=network)
+
+    def test_scatter_from_root(self, network):
+        nprocs = 4
+
+        def fn(comm):
+            sb = None
+            if comm.rank == 0:
+                sb = comm.alloc_array(nprocs * 3, dtype=np.int64)
+                sb.data[:] = np.repeat(np.arange(nprocs) * 7, 3)
+            rb = comm.alloc_array(3, dtype=np.int64)
+            yield from comm.scatter(sb, rb, root=0)
+            assert (rb.data == comm.rank * 7).all()
+
+        mpi_run(fn, nprocs=nprocs, network=network)
+
+    def test_gather_requires_root_buffer(self, network):
+        def fn(comm):
+            sb = comm.alloc(8)
+            yield from comm.gather(sb, None, root=0)
+
+        with pytest.raises(ValueError):
+            mpi_run(fn, nprocs=2, network=network)
+
+
+class TestCommunicatorManagement:
+    def test_dup_gets_fresh_context(self, network):
+        def fn(comm):
+            dup = comm.dup()
+            assert dup.ctx != comm.ctx
+            # traffic on the dup must not match receives on the parent
+            buf = comm.alloc_array(8, dtype=np.uint8)
+            if comm.rank == 0:
+                buf.data[:] = 1
+                yield from dup.send(buf, dest=1, tag=0)
+            else:
+                yield from dup.recv(buf, source=0, tag=0)
+                assert buf.data[0] == 1
+            return dup.ctx
+
+        res = mpi_run(fn, nprocs=2, network=network)
+        assert res.returns[0] == res.returns[1]
+
+    def test_split_even_odd(self, network):
+        def fn(comm):
+            sub = yield from comm.split(color=comm.rank % 2, key=comm.rank)
+            assert sub.size == 2
+            # allreduce within the sub-communicator
+            sb = sub.alloc_array(1, dtype=np.int64)
+            sb.data[:] = comm.rank
+            rb = sub.alloc_array(1, dtype=np.int64)
+            yield from sub.allreduce(sb, rb, op=SUM)
+            expect = {0: 0 + 2, 1: 1 + 3}[comm.rank % 2]
+            assert rb.data[0] == expect
+            return (sub.rank, sub.size)
+
+        res = mpi_run(fn, nprocs=4, network=network)
+        assert res.returns == [(0, 2), (0, 2), (1, 2), (1, 2)]
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_property_allreduce_matches_numpy(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-1000, 1000, size=(4, 8)).astype(np.int64)
+
+        def fn(comm):
+            sb = comm.alloc_array(8, dtype=np.int64)
+            sb.data[:] = data[comm.rank]
+            rb = comm.alloc_array(8, dtype=np.int64)
+            yield from comm.allreduce(sb, rb, op=SUM)
+            assert (rb.data == data.sum(axis=0)).all()
+
+        mpi_run(fn, nprocs=4, network=("infiniband", "myrinet", "quadrics")[seed % 3])

@@ -1,0 +1,300 @@
+"""Tests for the extension features: probe, on-demand connections,
+RDMA collectives, ablation options, process mappings."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, SUM, mpi_run
+from repro.mpi.world import MPIWorld
+
+
+class TestProbe:
+    def test_iprobe_none_then_probe_blocks(self, network):
+        def fn(comm):
+            if comm.rank == 0:
+                yield comm.cpu.compute(80.0)
+                buf = comm.alloc_array(24, dtype=np.uint8)
+                buf.data[:] = 3
+                yield from comm.send(buf, dest=1, tag=7)
+            else:
+                assert (yield from comm.iprobe()) is None
+                st = yield from comm.probe(source=0, tag=7)
+                assert (st.source, st.tag, st.nbytes) == (0, 7, 24)
+                # probing does not consume: probe again, same answer
+                st2 = yield from comm.probe()
+                assert st2.nbytes == 24
+                buf = comm.alloc_array(24, dtype=np.uint8)
+                yield from comm.recv(buf, source=0, tag=7)
+                assert (buf.data == 3).all()
+                # consumed now
+                assert (yield from comm.iprobe()) is None
+
+        mpi_run(fn, nprocs=2, network=network)
+
+    def test_probe_with_wildcards(self, network):
+        def fn(comm):
+            if comm.rank == 0:
+                buf = comm.alloc(16)
+                yield from comm.send(buf, dest=1, tag=42)
+            else:
+                st = yield from comm.probe(source=ANY_SOURCE, tag=ANY_TAG)
+                assert st.tag == 42
+                buf = comm.alloc(16)
+                yield from comm.recv(buf, source=st.source, tag=st.tag)
+
+        mpi_run(fn, nprocs=2, network=network)
+
+    def test_probe_selective_tag(self, network):
+        """A probe for tag B must not report a pending tag-A message."""
+        def fn(comm):
+            if comm.rank == 0:
+                a = comm.alloc(8)
+                yield from comm.send(a, dest=1, tag=1)
+                yield from comm.send(a, dest=1, tag=2)
+            else:
+                st = yield from comm.probe(source=0, tag=2)
+                assert st.tag == 2
+                buf = comm.alloc(8)
+                yield from comm.recv(buf, source=0, tag=2)
+                yield from comm.recv(buf, source=0, tag=1)
+
+        mpi_run(fn, nprocs=2, network=network)
+
+
+class TestOnDemandConnections:
+    def test_fewer_connections_and_less_memory(self):
+        def bar(comm):
+            yield from comm.barrier()
+
+        static = MPIWorld(8, network="infiniband", record=False)
+        static.run(bar)
+        lazy = MPIWorld(8, network="infiniband", record=False,
+                        mpi_options={"on_demand_connections": True})
+        lazy.run(bar)
+        assert lazy.devices[0].vapi.nconnections < static.devices[0].vapi.nconnections
+        assert lazy.memory_usage_mb(0) < static.memory_usage_mb(0)
+
+    def test_data_still_correct(self):
+        def fn(comm):
+            sb = comm.alloc_array(4, dtype=np.int64)
+            sb.data[:] = comm.rank
+            rb = comm.alloc_array(4, dtype=np.int64)
+            yield from comm.allreduce(sb, rb, op=SUM)
+            assert rb.data[0] == sum(range(comm.size))
+
+        mpi_run(fn, nprocs=4, network="infiniband",
+                mpi_options={"on_demand_connections": True})
+
+    def test_crossing_connection_requests(self):
+        """Both peers initiate simultaneously; the handshake must not hang."""
+        def fn(comm):
+            other = 1 - comm.rank
+            sbuf = comm.alloc(8)
+            rbuf = comm.alloc(8)
+            sreq = yield from comm.isend(sbuf, dest=other, tag=0)
+            rreq = yield from comm.irecv(rbuf, source=other, tag=0)
+            yield from comm.waitall([sreq, rreq])
+
+        mpi_run(fn, nprocs=2, network="infiniband",
+                mpi_options={"on_demand_connections": True})
+
+    def test_handshake_paid_once(self):
+        def fn(comm):
+            buf = comm.alloc(8)
+            times = []
+            for i in range(3):
+                t0 = comm.sim.now
+                if comm.rank == 0:
+                    yield from comm.send(buf, dest=1, tag=i)
+                    yield from comm.recv(buf, source=1, tag=10 + i)
+                else:
+                    yield from comm.recv(buf, source=0, tag=i)
+                    yield from comm.send(buf, dest=0, tag=10 + i)
+                times.append(comm.sim.now - t0)
+            if comm.rank == 0:
+                return times
+
+        res = mpi_run(fn, nprocs=2, network="infiniband",
+                      mpi_options={"on_demand_connections": True})
+        t = res.returns[0]
+        assert t[0] > 3 * t[1]          # first RT pays the handshake
+        assert t[1] == pytest.approx(t[2])
+
+
+class TestRdmaCollectives:
+    @pytest.mark.parametrize("nprocs", [2, 4, 8])
+    def test_allreduce_correct(self, nprocs):
+        def fn(comm):
+            sb = comm.alloc_array(16, dtype=np.float64)
+            sb.data[:] = comm.rank + 1.5
+            rb = comm.alloc_array(16, dtype=np.float64)
+            yield from comm.allreduce(sb, rb, op=SUM)
+            assert np.allclose(rb.data, sum(r + 1.5 for r in range(comm.size)))
+
+        mpi_run(fn, nprocs=nprocs, network="infiniband",
+                mpi_options={"rdma_collectives": True})
+
+    def test_back_to_back_collectives_do_not_alias(self):
+        """Epoch keys keep successive collectives' slots distinct."""
+        def fn(comm):
+            for i in range(5):
+                sb = comm.alloc_array(2, dtype=np.int64)
+                sb.data[:] = comm.rank * (i + 1)
+                rb = comm.alloc_array(2, dtype=np.int64)
+                yield from comm.allreduce(sb, rb, op=SUM)
+                assert rb.data[0] == sum(r * (i + 1) for r in range(comm.size))
+                yield from comm.barrier()
+
+        mpi_run(fn, nprocs=4, network="infiniband",
+                mpi_options={"rdma_collectives": True})
+
+    def test_large_messages_fall_back_to_pt2pt(self):
+        def fn(comm):
+            sb = comm.alloc_array(4096, dtype=np.float64)  # 32 KB > 2 KB
+            sb.data[:] = 1.0
+            rb = comm.alloc_array(4096, dtype=np.float64)
+            yield from comm.allreduce(sb, rb, op=SUM)
+            assert np.allclose(rb.data, comm.size)
+
+        mpi_run(fn, nprocs=4, network="infiniband",
+                mpi_options={"rdma_collectives": True})
+
+    def test_faster_than_pt2pt(self):
+        from repro.microbench.collectives import _allreduce_loop
+
+        times = {}
+        for label, opts in (("pt2pt", {}), ("rdma", {"rdma_collectives": True})):
+            w = MPIWorld(8, network="infiniband", record=False, mpi_options=opts)
+            times[label] = w.run(_allreduce_loop, args=(8, 10, 2)).returns[0]
+        assert times["rdma"] < times["pt2pt"]
+
+
+class TestAblationOptions:
+    def test_eager_limit_moves_protocol_switch(self):
+        from repro.microbench.latency import pingpong_fn
+
+        lat = {}
+        for limit in (2048, 32768):
+            w = MPIWorld(2, network="infiniband", record=False,
+                         mpi_options={"eager_limit": limit})
+            lat[limit] = w.run(pingpong_fn, args=(8192, 15, 3)).returns[0]
+        # with an 8 KB message: rendezvous under the 2 KB limit, eager
+        # (no handshake) under the 32 KB limit
+        assert lat[32768] < lat[2048]
+
+    def test_disable_shmem(self):
+        from repro.microbench.latency import pingpong_fn
+
+        w1 = MPIWorld(2, network="infiniband", ppn=2, record=False)
+        with_shm = w1.run(pingpong_fn, args=(64, 15, 3)).returns[0]
+        w2 = MPIWorld(2, network="infiniband", ppn=2, record=False,
+                      mpi_options={"use_shmem": False})
+        without = w2.run(pingpong_fn, args=(64, 15, 3)).returns[0]
+        assert without > 2 * with_shm
+
+    def test_disable_pin_down_cache(self):
+        from repro.microbench.latency import pingpong_fn
+
+        w1 = MPIWorld(2, network="infiniband", record=False)
+        cached = w1.run(pingpong_fn, args=(65536, 15, 3)).returns[0]
+        w2 = MPIWorld(2, network="infiniband", record=False,
+                      mpi_options={"pin_down_cache": False})
+        uncached = w2.run(pingpong_fn, args=(65536, 15, 3)).returns[0]
+        assert uncached > cached + 30.0
+
+
+class TestMappings:
+    def test_cyclic_positions(self):
+        world = MPIWorld(4, network="myrinet", ppn=2, mapping="cyclic")
+        assert [ep.node_id for ep in world.endpoints] == [0, 1, 0, 1]
+
+    def test_block_positions(self):
+        world = MPIWorld(4, network="myrinet", ppn=2, mapping="block")
+        assert [ep.node_id for ep in world.endpoints] == [0, 0, 1, 1]
+
+    def test_unknown_mapping_rejected(self):
+        with pytest.raises(ValueError, match="mapping"):
+            MPIWorld(4, mapping="random")
+
+    def test_apps_verify_under_cyclic(self):
+        from repro.apps.runner import APP_REGISTRY
+        from repro.apps.classes import get_problem
+
+        cfg = get_problem("lu", "S")
+        benches = {r: APP_REGISTRY["lu"](cfg, 4, verify=True) for r in range(4)}
+
+        def fn(comm):
+            b = benches[comm.rank]
+            yield from b.setup(comm)
+            for it in range(cfg.niters):
+                yield from b.iteration(comm, it)
+            yield from b.finalize(comm)
+
+        w = MPIWorld(4, network="quadrics", ppn=2, mapping="cyclic")
+        w.run(fn)
+        assert all(b.verified for b in benches.values())
+
+
+class TestTypedAndPersistent:
+    def test_typed_roundtrip_sizes(self, network):
+        from repro.mpi.datatypes import DOUBLE, INT, contiguous
+
+        def fn(comm):
+            if comm.rank == 0:
+                buf = comm.alloc_array(128, dtype=np.float64)
+                buf.data[:] = 2.25
+                yield from comm.send_typed(buf, 100, DOUBLE, dest=1, tag=0)
+                ib = comm.alloc_array(32, dtype=np.int32)
+                yield from comm.send_typed(ib, 8, INT, dest=1, tag=1)
+            else:
+                buf = comm.alloc_array(128, dtype=np.float64)
+                st = yield from comm.recv_typed(buf, 100, DOUBLE, source=0, tag=0)
+                assert st.nbytes == 800
+                assert np.allclose(buf.data[:100], 2.25)
+                ib = comm.alloc_array(32, dtype=np.int32)
+                st = yield from comm.recv_typed(ib, 8, INT, source=0, tag=1)
+                assert st.nbytes == 32
+
+        mpi_run(fn, nprocs=2, network=network)
+
+    def test_noncontiguous_type_charges_pack_unpack(self):
+        """A vector datatype costs two extra host copies end to end."""
+        from repro.mpi.datatypes import DOUBLE, vector
+        from repro.mpi.world import MPIWorld
+
+        def fn(comm, dt, marks):
+            buf = comm.alloc_array(4096, dtype=np.float64)
+            if comm.rank == 0:
+                t0 = comm.sim.now
+                yield from comm.send_typed(buf, 1, dt, dest=1, tag=0)
+                marks.append(comm.sim.now - t0)
+            else:
+                yield from comm.recv_typed(buf, 1, dt, source=0, tag=0)
+
+        n = 2048  # doubles
+        contig = vector(1, n, n, DOUBLE)
+        strided = vector(n, 1, 2, DOUBLE)
+        assert contig.contiguous and not strided.contiguous
+        times = {}
+        for name, dt in (("contig", contig), ("strided", strided)):
+            marks = []
+            w = MPIWorld(2, network="infiniband", record=False)
+            w.run(fn, args=(dt, marks))
+            times[name] = marks[0]
+        assert times["strided"] > times["contig"] + 5.0
+
+    def test_persistent_requests_reused_many_times(self, network):
+        def fn(comm):
+            other = 1 - comm.rank
+            sbuf = comm.alloc_array(64, dtype=np.int64)
+            rbuf = comm.alloc_array(64, dtype=np.int64)
+            ps = comm.send_init(sbuf, dest=other, tag=3)
+            pr = comm.recv_init(rbuf, source=other, tag=3)
+            for i in range(10):
+                sbuf.data[:] = comm.rank * 100 + i
+                yield from comm.startall([pr, ps])
+                yield from comm.waitall([pr, ps])
+                assert rbuf.data[0] == other * 100 + i
+            assert ps.starts == 10 and pr.starts == 10
+
+        mpi_run(fn, nprocs=2, network=network)

@@ -1,0 +1,385 @@
+"""Tests for the three fabric models and their messaging layers."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import Simulator
+from repro.hardware.cluster import Cluster
+from repro.hardware.memory import AddressSpace
+from repro.networks import NETWORKS, canonical_network, make_fabric
+from repro.networks.base import Packet
+from repro.networks.infiniband.verbs import VapiDevice
+from repro.networks.myrinet.gm import GmTokenError
+from repro.networks.quadrics.tports import ANY as TP_ANY
+from repro.hardware.memory import RegistrationError
+
+
+def build(net, nnodes=2):
+    sim = Simulator()
+    cluster = Cluster(sim, nnodes)
+    fab = make_fabric(net, sim, cluster)
+    for r in range(nnodes):
+        fab.attach(r, r)
+    return sim, fab
+
+
+class TestFabricCommon:
+    def test_aliases(self):
+        assert canonical_network("IB") == "infiniband"
+        assert canonical_network("gm") == "myrinet"
+        assert canonical_network("Elan") == "quadrics"
+        with pytest.raises(ValueError):
+            canonical_network("ethernet")
+
+    def test_labels(self):
+        assert set(NETWORKS.values()) == {"IBA", "Myri", "QSN"}
+
+    def test_duplicate_attach_rejected(self, network):
+        sim, fab = build(network)
+        with pytest.raises(ValueError):
+            fab.attach(0, 0)
+
+    def test_delivery_and_fifo_order(self, network):
+        sim, fab = build(network)
+        got = []
+        fab.ports[1].nic_handler = lambda pkt: got.append((pkt.meta["i"], sim.now))
+        for i in range(5):
+            fab.send_packet(Packet(kind="x", src_rank=0, dst_rank=1,
+                                   nbytes=64, meta={"i": i}))
+        sim.run()
+        assert [g[0] for g in got] == [0, 1, 2, 3, 4]
+        assert [g[1] for g in got] == sorted(g[1] for g in got)
+
+    def test_local_completion_before_delivery(self, network):
+        sim, fab = build(network)
+        seen = {}
+        fab.ports[1].nic_handler = lambda pkt: seen.setdefault("deliver", sim.now)
+        local = fab.send_packet(Packet(kind="x", src_rank=0, dst_rank=1,
+                                       nbytes=256 * 1024, meta={}))
+        local.add_callback(lambda e: seen.setdefault("local", sim.now))
+        sim.run()
+        assert seen["local"] <= seen["deliver"]
+
+    def test_loopback_path_used_intra_node(self, network):
+        sim = Simulator()
+        cluster = Cluster(sim, 1)
+        fab = make_fabric(network, sim, cluster)
+        fab.attach(0, 0)
+        fab.attach(1, 0)
+        got = []
+        fab.ports[1].nic_handler = lambda pkt: got.append(sim.now)
+        fab.send_packet(Packet(kind="x", src_rank=0, dst_rank=1, nbytes=64, meta={}))
+        sim.run()
+        assert got and got[0] > 0
+
+    def test_bandwidth_ceilings(self, network):
+        """Raw streaming rate lands near the calibrated ceiling."""
+        sim, fab = build(network)
+        done = []
+        fab.ports[1].nic_handler = lambda pkt: done.append(sim.now)
+        n, sz = 16, 256 * 1024
+        for _ in range(n):
+            fab.send_packet(Packet(kind="x", src_rank=0, dst_rank=1,
+                                   nbytes=sz, meta={}))
+        sim.run()
+        mbps = n * sz / max(done) * 1e6 / 2**20
+        lo, hi = {"infiniband": (780, 900), "myrinet": (210, 245),
+                  "quadrics": (280, 330)}[network]
+        assert lo <= mbps <= hi, mbps
+
+
+class TestVapi:
+    def test_send_requires_posted_recv(self):
+        sim, fab = build("infiniband")
+        space = AddressSpace(0)
+        dev0: VapiDevice = fab.vapi(0)
+        dev1: VapiDevice = fab.vapi(1)
+        fab.ports[1].nic_handler = dev1.handle_delivery
+        qp = dev0.connect(1)
+        buf = space.alloc(64)
+        qp.post_send(buf, wr_id=1)
+        with pytest.raises(RegistrationError):
+            sim.run()
+
+    def test_send_recv_with_payload(self):
+        sim, fab = build("infiniband")
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        dev0, dev1 = fab.vapi(0), fab.vapi(1)
+        fab.ports[1].nic_handler = dev1.handle_delivery
+        src = s0.alloc_array(16, dtype=np.uint8)
+        src.data[:] = np.arange(16)
+        dst = s1.alloc_array(16, dtype=np.uint8)
+        dev1.connect(0).post_recv(dst, wr_id=9)
+        dev0.connect(1).post_send(src, wr_id=7,
+                                  payload=src.data.copy())
+        sim.run()
+        wcs = dev1.recv_cq.poll()
+        assert len(wcs) == 1 and wcs[0].wr_id == 9 and wcs[0].src_rank == 0
+        assert (dst.data == np.arange(16)).all()
+        assert dev0.send_cq.poll()[0].opcode == "send"
+
+    def test_rdma_write_places_data_without_recv(self):
+        sim, fab = build("infiniband")
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        dev0, dev1 = fab.vapi(0), fab.vapi(1)
+        fab.ports[1].nic_handler = dev1.handle_delivery
+        src = s0.alloc_array(8, dtype=np.uint8)
+        src.data[:] = 5
+        dst = s1.alloc_array(8, dtype=np.uint8)
+        dev0.connect(1).rdma_write(src, dst, wr_id=1, payload=src.data.copy(),
+                                   imm_data=77)
+        sim.run()
+        assert (dst.data == 5).all()
+        wcs = dev1.recv_cq.poll()
+        assert wcs and wcs[0].imm_data == 77
+
+    def test_rdma_into_smaller_region_rejected(self):
+        sim, fab = build("infiniband")
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        dev0 = fab.vapi(0)
+        with pytest.raises(RegistrationError):
+            dev0.connect(1).rdma_write(s0.alloc(100), s1.alloc(50), wr_id=1)
+
+    def test_reg_mr_uses_pin_down_cache(self):
+        sim, fab = build("infiniband")
+        dev0 = fab.vapi(0)
+        buf = AddressSpace(0).alloc(8192)
+        _mr, cost1 = dev0.reg_mr(buf)
+        _mr, cost2 = dev0.reg_mr(buf)
+        assert cost1 > 10 * cost2
+
+
+class TestGm:
+    def test_send_lands_in_provided_buffer(self):
+        sim, fab = build("myrinet")
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        gm0, gm1 = fab.gm(0), fab.gm(1)
+        events = []
+        fab.ports[1].nic_handler = lambda pkt: events.append(gm1.nic_accept(pkt))
+        rbuf = s1.alloc_array(64, dtype=np.uint8)
+        gm1.provide_receive_buffer(rbuf)
+        src = s0.alloc_array(64, dtype=np.uint8)
+        src.data[:] = 3
+        gm0.send_with_callback(1, src, tag=5, payload=src.data.copy())
+        sim.run()
+        assert len(events) == 1
+        assert events[0].kind == "recv" and events[0].tag == 5
+        assert (rbuf.data == 3).all()
+
+    def test_send_without_provided_buffer_raises(self):
+        sim, fab = build("myrinet")
+        gm0, gm1 = fab.gm(0), fab.gm(1)
+        fab.ports[1].nic_handler = lambda pkt: gm1.nic_accept(pkt)
+        gm0.send_with_callback(1, AddressSpace(0).alloc(64))
+        with pytest.raises(GmTokenError):
+            sim.run()
+
+    def test_send_token_exhaustion(self):
+        sim, fab = build("myrinet")
+        gm0 = fab.gm(0)
+        buf = AddressSpace(0).alloc(64)
+        for _ in range(gm0.send_tokens):
+            gm0.send_with_callback(1, buf)
+        with pytest.raises(GmTokenError):
+            gm0.send_with_callback(1, buf)
+
+    def test_directed_send_bypasses_receive_buffers(self):
+        sim, fab = build("myrinet")
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        gm0, gm1 = fab.gm(0), fab.gm(1)
+        events = []
+        fab.ports[1].nic_handler = lambda pkt: events.append(gm1.nic_accept(pkt))
+        src = s0.alloc_array(128, dtype=np.uint8)
+        src.data[:] = 9
+        dst = s1.alloc_array(128, dtype=np.uint8)
+        gm0.directed_send(1, src, dst, payload=src.data.copy())
+        sim.run()
+        assert events[0].kind == "directed"
+        assert (dst.data == 9).all()
+
+    def test_large_messages_use_store_and_forward_path(self):
+        sim, fab = build("myrinet")
+        small = fab._select_path(Packet("x", 0, 1, 1024, {}), 1024 + 24, 0, 1)[0]
+        big = fab._select_path(Packet("x", 0, 1, 1 << 20, {}), (1 << 20) + 24, 0, 1)[0]
+        assert small is not big
+        assert "sf" in big.name
+
+
+class TestTports:
+    def test_rx_preposted_matches_on_nic(self):
+        sim, fab = build("quadrics")
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        tp0, tp1 = fab.tport(0), fab.tport(1)
+        buf = s1.alloc_array(32, dtype=np.uint8)
+        h = tp1.rx(src_sel=0, tag_sel=7, buf=buf)
+        src = s0.alloc_array(32, dtype=np.uint8)
+        src.data[:] = 4
+        tp0.tx(1, 7, src, payload=src.data.copy())
+        sim.run()
+        assert h.done.ok
+        assert h.done.value == (0, 7, 32)
+        assert (buf.data == 4).all()
+
+    def test_unexpected_matched_later_with_copy_cost(self):
+        sim, fab = build("quadrics")
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        tp0, tp1 = fab.tport(0), fab.tport(1)
+        src = s0.alloc_array(32, dtype=np.uint8)
+        src.data[:] = 8
+        tp0.tx(1, 3, src, payload=src.data.copy())
+        sim.run()
+        buf = s1.alloc_array(32, dtype=np.uint8)
+        h = tp1.rx(src_sel=TP_ANY, tag_sel=3, buf=buf)
+        assert h.done.triggered
+        assert h.copy_cost_us > 0
+        assert (buf.data == 8).all()
+
+    def test_wildcard_source(self):
+        sim, fab = build("quadrics")
+        tp0, tp1 = fab.tport(0), fab.tport(1)
+        h = tp1.rx(src_sel=TP_ANY, tag_sel=TP_ANY, buf=None)
+        tp0.tx(1, 42, AddressSpace(0).alloc(16))
+        sim.run()
+        assert h.done.value[1] == 42
+
+    def test_rendezvous_progresses_without_host(self):
+        """Large tx completes purely via NIC-side RTS/CTS/data."""
+        sim, fab = build("quadrics")
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        tp0, tp1 = fab.tport(0), fab.tport(1)
+        big = tp0.params.eager_bytes * 4
+        h_rx = tp1.rx(src_sel=0, tag_sel=1, buf=s1.alloc(big))
+        h_tx = tp0.tx(1, 1, s0.alloc(big))
+        sim.run()
+        assert h_tx.done.ok and h_rx.done.ok
+        assert h_rx.done.value == (0, 1, big)
+
+    def test_rts_parked_until_rx_posted(self):
+        sim, fab = build("quadrics")
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        tp0, tp1 = fab.tport(0), fab.tport(1)
+        big = tp0.params.eager_bytes * 2
+        h_tx = tp0.tx(1, 9, s0.alloc(big))
+        sim.run()
+        assert not h_tx.done.triggered  # waiting for the receiver
+        h_rx = tp1.rx(src_sel=0, tag_sel=9, buf=s1.alloc(big))
+        sim.run()
+        assert h_tx.done.ok and h_rx.done.ok
+
+    def test_arrival_order_matching_mixes_eager_and_rts(self):
+        """Non-overtaking: an earlier RTS matches before a later eager."""
+        sim, fab = build("quadrics")
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        tp0, tp1 = fab.tport(0), fab.tport(1)
+        big = tp0.params.eager_bytes * 2
+        tp0.tx(1, 5, s0.alloc(big))          # rendezvous, sent first
+        tp0.tx(1, 5, s0.alloc(16))           # eager, same tag, second
+        sim.run()
+        h1 = tp1.rx(src_sel=0, tag_sel=5, buf=s1.alloc(big))
+        sim.run()
+        assert h1.done.value[2] == big       # the rendezvous message
+
+    def test_tx_queue_depth_gate(self):
+        sim, fab = build("quadrics")
+        tp0 = fab.tport(0)
+        buf = AddressSpace(0).alloc(16)
+        for _ in range(tp0.params.tx_queue_depth):
+            tp0.tx(1, 1, buf)
+        assert tp0.tx_full()
+        assert not tp0.tx_slot_gate.is_open
+        sim.run()
+        assert not tp0.tx_full()
+        assert tp0.tx_slot_gate.is_open
+
+    def test_tlb_cost_paid_once(self):
+        sim, fab = build("quadrics")
+        tp0 = fab.tport(0)
+        buf = AddressSpace(0).alloc(8192)
+        assert tp0.tlb_cost(buf) > 0
+        assert tp0.tlb_cost(buf) == 0.0
+
+
+class TestGmSizeClasses:
+    def test_size_class_boundaries(self):
+        from repro.networks.myrinet.gm import GmPort
+
+        assert GmPort.size_class(1) == 5
+        assert GmPort.size_class(32) == 5
+        assert GmPort.size_class(33) == 6
+        assert GmPort.size_class(16384) == 14
+
+    def test_arrival_matches_its_class_only(self):
+        sim, fab = build("myrinet")
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        gm0, gm1 = fab.gm(0), fab.gm(1)
+        events = []
+        fab.ports[1].nic_handler = lambda pkt: events.append(gm1.nic_accept(pkt))
+        gm1.provide_receive_buffer(s1.alloc(32))      # class 5
+        gm1.provide_receive_buffer(s1.alloc(4096))    # class 12
+        big = s0.alloc(2048)                          # class 11: no buffer!
+        gm0.send_with_callback(1, big)
+        with pytest.raises(GmTokenError, match="size class"):
+            sim.run()
+
+    def test_class_fifo_order(self):
+        sim, fab = build("myrinet")
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        gm0, gm1 = fab.gm(0), fab.gm(1)
+        events = []
+        fab.ports[1].nic_handler = lambda pkt: events.append(gm1.nic_accept(pkt))
+        first = s1.alloc(1024)
+        second = s1.alloc(1024)
+        gm1.provide_receive_buffer(first)
+        gm1.provide_receive_buffer(second)
+        msg = s0.alloc(1000)  # same class as 1024
+        gm0.send_with_callback(1, msg)
+        gm0.send_with_callback(1, msg)
+        sim.run()
+        assert events[0].buffer is first
+        assert events[1].buffer is second
+
+
+class TestRdmaRead:
+    def test_read_fetches_remote_data(self):
+        import numpy as np
+
+        sim, fab = build("infiniband")
+        d0, d1 = fab.vapi(0), fab.vapi(1)
+        fab.ports[0].nic_handler = d0.handle_delivery
+        fab.ports[1].nic_handler = d1.handle_delivery
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        remote = s1.alloc_array(128, dtype=np.uint8)
+        remote.data[:] = 7
+        local = s0.alloc_array(128, dtype=np.uint8)
+        ev = d0.connect(1).rdma_read(local, remote, wr_id=3)
+        sim.run()
+        assert ev.ok
+        assert (local.data == 7).all()
+        wcs = d0.send_cq.poll()
+        assert wcs and wcs[0].opcode == "rdma_read"
+
+    def test_read_costs_a_round_trip(self):
+        sim, fab = build("infiniband")
+        d0, d1 = fab.vapi(0), fab.vapi(1)
+        fab.ports[0].nic_handler = d0.handle_delivery
+        fab.ports[1].nic_handler = d1.handle_delivery
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        done = {}
+        ev = d0.connect(1).rdma_read(s0.alloc(64), s1.alloc(64), wr_id=1)
+        ev.add_callback(lambda e: done.setdefault("read", sim.now))
+        sim.run()
+        # a write's one-way delivery takes roughly half a read
+        sim2, fab2 = build("infiniband")
+        fab2.ports[1].nic_handler = lambda pkt: done.setdefault("write", sim2.now)
+        from repro.networks.base import Packet
+        fab2.send_packet(Packet(kind="x", src_rank=0, dst_rank=1,
+                                nbytes=64, meta={}))
+        sim2.run()
+        assert done["read"] > 1.6 * done["write"]
+
+    def test_read_overflow_rejected(self):
+        sim, fab = build("infiniband")
+        d0 = fab.vapi(0)
+        s0, s1 = AddressSpace(0), AddressSpace(1)
+        with pytest.raises(RegistrationError):
+            d0.connect(1).rdma_read(s0.alloc(16), s1.alloc(64), wr_id=1)

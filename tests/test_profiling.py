@@ -1,0 +1,163 @@
+"""Tests for the trace recorder and the paper's derived statistics."""
+
+import numpy as np
+import pytest
+
+from repro.apps import run_app
+from repro.mpi import mpi_run
+from repro.profiling import (
+    Recorder,
+    buffer_reuse_rate,
+    collective_stats,
+    intranode_stats,
+    message_size_histogram,
+    nonblocking_stats,
+    transfer_size_histogram,
+)
+
+
+def _mixed_traffic(comm):
+    other = 1 - comm.rank
+    small = comm.alloc(64)
+    big = comm.alloc(64 * 1024)
+    if comm.rank == 0:
+        yield from comm.send(small, dest=1, tag=0)
+        req = yield from comm.isend(big, dest=1, tag=1)
+        yield from comm.waitall([req])
+    else:
+        yield from comm.recv(small, source=0, tag=0)
+        req = yield from comm.irecv(big, source=0, tag=1)
+        yield from comm.waitall([req])
+    yield from comm.barrier()
+    red = comm.alloc_array(4, dtype=np.float64)
+    out = comm.alloc_array(4, dtype=np.float64)
+    yield from comm.allreduce(red, out)
+
+
+class TestRecorder:
+    def test_calls_and_transfers_recorded(self, network):
+        res = mpi_run(_mixed_traffic, nprocs=2, network=network)
+        rec = res.recorder
+        funcs = {c.func for c in rec.calls}
+        assert {"send", "isend", "recv", "irecv", "barrier", "allreduce"} <= funcs
+        assert rec.transfers, "wire transfers must be recorded"
+
+    def test_collective_attribution(self, network):
+        res = mpi_run(_mixed_traffic, nprocs=2, network=network)
+        rec = res.recorder
+        coll = [t for t in rec.transfers if t.in_collective]
+        pt = [t for t in rec.transfers if not t.in_collective]
+        assert coll and pt
+
+    def test_record_flag_off(self):
+        res = mpi_run(_mixed_traffic, nprocs=2, network="infiniband", record=False)
+        assert res.recorder is None
+
+
+class TestStats:
+    def test_message_size_histogram_buckets(self, network):
+        res = mpi_run(_mixed_traffic, nprocs=2, network=network)
+        hist = message_size_histogram(res.recorder, per_process=False)
+        assert hist["<2K"] >= 1       # the 64 B sends
+        assert hist["16K-1M"] >= 1    # the 64 KB isend
+        assert hist[">1M"] == 0
+
+    def test_transfer_histogram_counts_wire_messages(self, network):
+        res = mpi_run(_mixed_traffic, nprocs=2, network=network)
+        hist = transfer_size_histogram(res.recorder)
+        assert sum(hist.values()) == len(res.recorder.transfers)
+
+    def test_nonblocking_stats(self, network):
+        res = mpi_run(_mixed_traffic, nprocs=2, network=network)
+        nb = nonblocking_stats(res.recorder, per_process=False)
+        assert nb["isend"]["calls"] == 1
+        assert nb["irecv"]["calls"] == 1
+        assert nb["isend"]["avg_size"] == 64 * 1024
+
+    def test_buffer_reuse_rate(self):
+        def fn(comm):
+            other = 1 - comm.rank
+            fixed = comm.alloc(128)
+            for i in range(4):
+                if comm.rank == 0:
+                    yield from comm.send(fixed, dest=1, tag=i)
+                else:
+                    yield from comm.recv(fixed, source=0, tag=i)
+            # one fresh-buffer message
+            fresh = comm.alloc(128, recycle=False)
+            if comm.rank == 0:
+                yield from comm.send(fresh, dest=1, tag=9)
+            else:
+                yield from comm.recv(fresh, source=0, tag=9)
+
+        res = mpi_run(fn, nprocs=2, network="infiniband")
+        reuse = buffer_reuse_rate(res.recorder)
+        # per rank: 5 calls on 2 distinct buffers -> 3/5 reuse
+        assert reuse["reuse_pct"] == pytest.approx(60.0)
+
+    def test_collective_stats_is_like(self):
+        """IS is almost all collectives — like the paper's Table 5."""
+        r = run_app("is", "S", "infiniband", 4, verify=False, sample_iters=4)
+        cs = collective_stats(r.recorder)
+        assert cs["pct_volume"] > 95.0
+        assert cs["calls"] > 0
+
+    def test_intranode_stats_block_mapping(self):
+        r = run_app("lu", "S", "infiniband", 4, ppn=2, verify=False,
+                    sample_iters=3)
+        st = intranode_stats(r.recorder)
+        assert 0.0 < st["pct_calls"] < 100.0
+
+    def test_scale_multiplies_counts(self):
+        rec = Recorder()
+        rec.record_call(0, "send", 1, 100, 0x1000, 0, 1, True, False, False)
+        rec.scale = 10.0
+        hist = message_size_histogram(rec, per_process=False)
+        assert hist["<2K"] == 10
+
+
+class TestPaperProfiles:
+    """The profile shapes the paper reports for specific applications."""
+
+    def test_is_message_profile(self):
+        """Table 1: IS has ~11 huge (>1M) calls and small/mid control."""
+        r = run_app("is", "B", "infiniband", 8)
+        hist = message_size_histogram(r.recorder)
+        assert 10 <= hist[">1M"] <= 13          # paper: 11
+        assert hist["2K-16K"] >= 8              # paper: 11 (allreduce 8KB)
+
+    def test_lu_message_profile(self):
+        """Table 1: LU is dominated by ~100k tiny messages."""
+        r = run_app("lu", "B", "infiniband", 8, sample_iters=4)
+        hist = message_size_histogram(r.recorder)
+        assert 60_000 <= hist["<2K"] <= 140_000   # paper: 100021
+        assert 500 <= hist["16K-1M"] <= 2_000     # paper: 1008
+        assert hist[">1M"] == 0
+
+    def test_sweep3d150_message_profile(self):
+        """Table 1: S3d-150 splits ~28.8k/28.8k between <2K and 2K-16K."""
+        r = run_app("sweep3d", "150", "infiniband", 8, sample_iters=2)
+        hist = message_size_histogram(r.recorder)
+        assert 15_000 <= hist["<2K"] <= 35_000     # paper: 28836
+        assert 20_000 <= hist["2K-16K"] <= 45_000  # paper: 28800
+
+    def test_sp_nonblocking_profile(self):
+        """Table 3: SP uses both isend and irecv with ~264 KB averages."""
+        r = run_app("sp", "B", "infiniband", 4, sample_iters=4)
+        nb = nonblocking_stats(r.recorder)
+        assert nb["isend"]["calls"] > 0
+        assert nb["irecv"]["calls"] > 0
+        assert 150_000 < nb["isend"]["avg_size"] < 400_000  # paper: 263970
+
+    def test_ft_never_uses_nonblocking(self):
+        """Table 3: FT has no Isend/Irecv at the application level."""
+        r = run_app("ft", "B", "infiniband", 4, sample_iters=2)
+        nb = nonblocking_stats(r.recorder)
+        assert nb["isend"]["calls"] == 0
+        assert nb["irecv"]["calls"] == 0
+
+    def test_apps_have_high_buffer_reuse_except_is(self):
+        """Table 4: most apps reuse buffers ~99%+; IS is the outlier."""
+        lu = buffer_reuse_rate(run_app("lu", "B", "infiniband", 8,
+                                       sample_iters=3).recorder)
+        assert lu["reuse_pct"] > 97.0
