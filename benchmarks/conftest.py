@@ -8,9 +8,26 @@ observations, and asserts the qualitative *shape* the paper reports
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Each benchmark gets a fresh run-plan runtime (empty result cache) so
+its timing reflects real simulation work, not another artifact's cached
+runs.  Set ``REPRO_JOBS=N`` to fan each artifact's independent
+simulations out over N worker processes; results are identical.
 """
 
+import os
+
 import pytest
+
+from repro import runtime
+
+
+@pytest.fixture(autouse=True)
+def fresh_runtime():
+    """Isolate each benchmark: empty cache, jobs from the environment."""
+    runtime.reset(jobs=int(os.environ.get("REPRO_JOBS", "1") or "1"))
+    yield
+    runtime.reset()
 
 
 def run_once(benchmark, fn, *args, **kwargs):

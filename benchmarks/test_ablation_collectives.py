@@ -6,7 +6,7 @@ This ablation runs the option: direct RDMA writes into pre-registered
 flag slots, skipping tag matching.
 """
 
-from repro.microbench.collectives import _allreduce_loop, _alltoall_loop
+from repro.microbench.collectives import _allreduce_loop
 from repro.mpi.world import MPIWorld
 
 

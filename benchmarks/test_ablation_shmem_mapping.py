@@ -7,7 +7,6 @@
    intra-node (the paper notes results depend on the mapping).
 """
 
-from repro.apps import run_app
 from repro.microbench.latency import pingpong_fn
 from repro.mpi.world import MPIWorld
 from repro.profiling import intranode_stats

@@ -9,6 +9,10 @@ Usage::
     python -m repro profile is.B 8       # one app's communication profile
     python -m repro list                 # everything available
     python -m repro fig2 --full          # full (slow) sweep instead of quick
+    python -m repro report --jobs 4      # fan simulations out over 4 workers
+    python -m repro tab2 --cache-dir .repro_cache   # persist results on disk
+
+Installed as the ``repro`` console script as well.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import runtime
 from repro.experiments import FIGURES, TABLES, run_figure, run_table
 
 
@@ -54,7 +59,19 @@ def main(argv=None) -> int:
                         help="full sweeps instead of the quick defaults")
     parser.add_argument("--network", default="infiniband",
                         help="network for 'profile' (default: infiniband)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run independent simulations on N worker "
+                             "processes (default: 1 = serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the run-result cache (every spec "
+                             "re-simulates)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="also persist results as JSON under DIR "
+                             "(convention: .repro_cache)")
     ns = parser.parse_args(argv)
+
+    runtime.configure(jobs=ns.jobs, enabled=not ns.no_cache,
+                      disk_dir=ns.cache_dir)
 
     t = ns.target.lower()
     if t == "list":
@@ -80,11 +97,9 @@ def main(argv=None) -> int:
         print(validation_report(quick=not ns.full))
         return 0
     if t == "report":
-        import sys as _sys
-
         from repro.experiments.report_all import reproduce_all
 
-        reproduce_all(quick=not ns.full, out=_sys.stdout)
+        reproduce_all(quick=not ns.full, out=sys.stdout)
         return 0
     if t == "profile":
         if len(ns.args) != 2:

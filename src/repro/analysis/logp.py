@@ -26,10 +26,9 @@ summary of the basic point-to-point engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.core.units import bytes_per_us_to_mbps
-from repro.microbench.common import bandwidth_mbps
 from repro.mpi.world import MPIWorld
 from repro.networks import NETWORKS
 

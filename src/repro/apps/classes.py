@@ -25,32 +25,32 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 __all__ = ["ProblemConfig", "PROBLEMS", "proc_grid_2d", "proc_grid_3d", "log2i"]
 
 
 def log2i(n: int) -> int:
     """Integer log2; raises for non-powers of two."""
-    l = int(math.log2(n))
-    if 2 ** l != n:
+    lg = int(math.log2(n))
+    if 2 ** lg != n:
         raise ValueError(f"{n} is not a power of two")
-    return l
+    return lg
 
 
 def proc_grid_2d(nprocs: int) -> Tuple[int, int]:
     """NPB-style 2-D grid: rows x cols, rows >= cols, both powers of 2."""
-    l = log2i(nprocs)
-    rows = 2 ** ((l + 1) // 2)
-    cols = 2 ** (l // 2)
+    lg = log2i(nprocs)
+    rows = 2 ** ((lg + 1) // 2)
+    cols = 2 ** (lg // 2)
     return rows, cols
 
 
 def proc_grid_3d(nprocs: int) -> Tuple[int, int, int]:
     """3-D decomposition with near-equal powers of two per axis."""
-    l = log2i(nprocs)
+    lg = log2i(nprocs)
     dims = [1, 1, 1]
-    for i in range(l):
+    for i in range(lg):
         dims[i % 3] *= 2
     dims.sort(reverse=True)
     return tuple(dims)

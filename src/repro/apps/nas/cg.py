@@ -31,11 +31,11 @@ __all__ = ["CGBench"]
 
 def cg_grid(nprocs: int):
     """NPB CG process grid: (nprows, npcols) with npcols >= nprows."""
-    l = int(math.log2(nprocs))
-    if 2 ** l != nprocs:
+    lg = int(math.log2(nprocs))
+    if 2 ** lg != nprocs:
         raise ValueError("CG needs a power-of-two process count")
-    npcols = 2 ** ((l + 1) // 2)
-    nprows = 2 ** (l // 2)
+    npcols = 2 ** ((lg + 1) // 2)
+    nprows = 2 ** (lg // 2)
     return nprows, npcols
 
 

@@ -58,7 +58,7 @@ class MGBench(AppBase):
         # volume-proportional work weights, normalised so one V-cycle
         # charges exactly one iteration's work
         nlev = len(self.levels)
-        weights = [8.0 ** -l for l in range(nlev)]
+        weights = [8.0 ** -lvl for lvl in range(nlev)]
         per_cycle = sum(weights[:-1]) + 2 * weights[-1] + sum(weights[:-1]) + weights[0] * 0.3
         self._wnorm = per_cycle
         yield from comm.barrier()

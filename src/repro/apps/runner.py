@@ -1,4 +1,12 @@
-"""Application runner: build a world, run an app, extrapolate sampled loops."""
+"""Application runner: build a world, run an app, extrapolate sampled loops.
+
+``run_app`` is a thin wrapper since the run-plan refactor: it builds a
+:class:`~repro.runtime.spec.RunSpec` and executes it through the
+process-wide runtime (:mod:`repro.runtime`), so identical runs are
+served from the result cache and sweeps built by the figure/table
+drivers can fan out in parallel.  The actual simulation lives in
+:func:`simulate_app_spec`, which the runtime executor dispatches to.
+"""
 
 from __future__ import annotations
 
@@ -6,14 +14,16 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Type
 
 from repro.apps.base import AppBase
-from repro.apps.classes import ProblemConfig, get_problem
+from repro.apps.classes import get_problem
 from repro.apps.nas import (BTBench, CGBench, FTBench, ISBench, LUBench,
                             MGBench, SPBench)
 from repro.apps.sweep3d import Sweep3DBench
 from repro.mpi.world import MPIWorld
 from repro.profiling.recorder import Recorder
+from repro.runtime.spec import RunSpec, thaw_mapping
 
-__all__ = ["APP_REGISTRY", "AppResult", "run_app"]
+__all__ = ["APP_REGISTRY", "AppResult", "run_app", "simulate_app_spec",
+           "app_result_from_payload"]
 
 APP_REGISTRY: Dict[str, Type[AppBase]] = {
     "is": ISBench,
@@ -50,19 +60,22 @@ class AppResult:
                 f"{self.elapsed_s:.2f}s{v}")
 
 
-def run_app(app: str, klass: str, network: str, nprocs: int, ppn: int = 1,
-            verify: bool = False, sample_iters: Optional[int] = None,
-            record: bool = True, net_overrides: Optional[dict] = None) -> AppResult:
-    """Run one (app, class) on a fresh world and return timing + profile.
+def simulate_app_spec(spec: RunSpec) -> dict:
+    """Execute one app RunSpec on a fresh world; return the plain payload.
 
-    In paper mode, only ``sample_iters`` of the homogeneous main loop
-    are simulated; the loop time and the profile are extrapolated to the
-    full iteration count (``recorder.scale``).
+    This is the simulation core behind ``run_app``, invoked by the
+    runtime executor (possibly in a worker process).  In paper mode,
+    only ``sample_iters`` of the homogeneous main loop are simulated;
+    the loop time and the profile are extrapolated to the full
+    iteration count (``recorder.scale``).
     """
-    cfg = get_problem(app, klass)
+    params = thaw_mapping(spec.params)
+    verify = bool(params.get("verify", False))
+    sample_iters = params.get("sample_iters")
+    cfg = get_problem(spec.target, spec.klass)
     # one bench instance per rank: each holds that rank's local state
-    benches = {r: APP_REGISTRY[app](cfg, nprocs, verify=verify)
-               for r in range(nprocs)}
+    benches = {r: APP_REGISTRY[spec.target](cfg, spec.nprocs, verify=verify)
+               for r in range(spec.nprocs)}
     if verify:
         nsim = cfg.niters
     else:
@@ -83,19 +96,48 @@ def run_app(app: str, klass: str, network: str, nprocs: int, ppn: int = 1,
             marks["t_loop_end"] = comm.sim.now
         yield from bench.finalize(comm)
 
-    world = MPIWorld(nprocs, network=network, ppn=ppn, record=record,
-                     net_overrides=net_overrides)
+    world = MPIWorld(spec.nprocs, network=spec.network, ppn=spec.ppn,
+                     mapping=spec.mapping, record=spec.record,
+                     net_overrides=spec.merged_net_overrides(),
+                     mpi_options=thaw_mapping(spec.mpi_options) or None)
     res = world.run(rank_fn)
     loop_us = marks["t_loop_end"] - marks["t_loop_start"]
     setup_us = marks["t_loop_start"]
     elapsed_us = setup_us + loop_us * (cfg.niters / nsim)
-    if record and res.recorder is not None:
+    if spec.record and res.recorder is not None:
         res.recorder.scale = cfg.niters / nsim
         res.recorder.sample_iters = nsim
     flags = [b.verified for b in benches.values()]
     verified = None if all(v is None for v in flags) else all(v in (True, None) for v in flags)
+    return {
+        "kind": "app", "app": spec.target, "klass": spec.klass,
+        "network": world.network, "nprocs": spec.nprocs, "ppn": spec.ppn,
+        "elapsed_s": elapsed_us / 1e6, "sim_iters": nsim,
+        "total_iters": cfg.niters, "verified": verified,
+        "recorder": res.recorder.to_dict() if res.recorder is not None else None,
+    }
+
+
+def app_result_from_payload(payload: dict) -> AppResult:
+    """Rehydrate an :class:`AppResult` (incl. Recorder) from a payload."""
+    rec = payload["recorder"]
     return AppResult(
-        app=app, klass=klass, network=world.network, nprocs=nprocs, ppn=ppn,
-        elapsed_s=elapsed_us / 1e6, sim_iters=nsim, total_iters=cfg.niters,
-        verified=verified, recorder=res.recorder,
+        app=payload["app"], klass=payload["klass"], network=payload["network"],
+        nprocs=payload["nprocs"], ppn=payload["ppn"],
+        elapsed_s=payload["elapsed_s"], sim_iters=payload["sim_iters"],
+        total_iters=payload["total_iters"], verified=payload["verified"],
+        recorder=Recorder.from_dict(rec) if rec is not None else None,
     )
+
+
+def run_app(app: str, klass: str, network: str, nprocs: int, ppn: int = 1,
+            verify: bool = False, sample_iters: Optional[int] = None,
+            record: bool = True, net_overrides: Optional[dict] = None,
+            mapping: str = "block", mpi_options: Optional[dict] = None) -> AppResult:
+    """Run one (app, class) and return timing + profile (cached by spec)."""
+    from repro import runtime
+
+    spec = RunSpec.app(app, klass, network, nprocs, ppn=ppn, mapping=mapping,
+                       verify=verify, sample_iters=sample_iters, record=record,
+                       net_overrides=net_overrides, mpi_options=mpi_options)
+    return app_result_from_payload(runtime.run_spec(spec))

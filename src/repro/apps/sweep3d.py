@@ -36,11 +36,11 @@ def sweep_grid(nprocs: int):
     """npe_i x npe_j process grid (npe_i >= npe_j, powers of two)."""
     import math
 
-    l = int(math.log2(nprocs))
-    if 2 ** l != nprocs:
+    lg = int(math.log2(nprocs))
+    if 2 ** lg != nprocs:
         raise ValueError("sweep3d needs a power-of-two process count")
-    npe_i = 2 ** ((l + 1) // 2)
-    npe_j = 2 ** (l // 2)
+    npe_i = 2 ** ((lg + 1) // 2)
+    npe_j = 2 ** (lg // 2)
     return npe_i, npe_j
 
 

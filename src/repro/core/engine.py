@@ -10,7 +10,7 @@ registering a resume callback on whatever event they yield.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Optional
 
 __all__ = ["Simulator", "Event", "Timeout", "SimulationError"]
 

@@ -8,8 +8,8 @@ when disabled, so it is safe to leave trace points in hot paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
 
 __all__ = ["TraceRecord", "Tracer"]
 

@@ -8,7 +8,7 @@ benchmark harness output is human-checkable without matplotlib.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 from repro.core.units import fmt_size
 from repro.microbench.common import Series

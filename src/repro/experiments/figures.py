@@ -4,33 +4,24 @@ Each ``figNN()`` returns a :class:`FigureResult` holding the measured
 series plus the paper's reference observations, and renders to text.
 ``quick=True`` (the default used by the benchmark harness) trims
 iteration counts; the shapes are unaffected.
+
+Since the run-plan refactor every driver *declares* its simulations as
+:class:`~repro.runtime.spec.RunSpec` sweeps and executes them through
+:func:`repro.runtime.run_specs` — so runs shared between artifacts are
+simulated once per process (result cache) and independent runs fan out
+over workers when the runtime is configured with ``jobs > 1``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.apps import run_app
 from repro.experiments.ascii_plot import bar_chart, line_chart
-from repro.microbench import (
-    measure_allreduce,
-    measure_alltoall,
-    measure_bandwidth,
-    measure_bidir_bandwidth,
-    measure_bidir_latency,
-    measure_host_overhead,
-    measure_intranode_bandwidth,
-    measure_intranode_latency,
-    measure_latency,
-    measure_memory_usage,
-    measure_overlap,
-    measure_reuse_bandwidth,
-    measure_reuse_latency,
-)
 from repro.microbench.buffer_reuse import REUSE_PERCENTS
-from repro.microbench.common import Series
+from repro.microbench.common import Series, series_from_payload
 from repro.networks import NETWORKS
+from repro.runtime import RunSpec, run_specs
 
 __all__ = ["FigureResult", "FIGURES", "run_figure"]
 
@@ -53,7 +44,7 @@ class FigureResult:
         if self.kind == "bar":
             labels, values = [], []
             for s in self.series:
-                for x, y in s.points:
+                for _x, y in s.points:
                     labels.append(f"{s.label}")
                     values.append(y)
             txt = bar_chart(labels, values, title=f"{self.fig_id}: {self.title}",
@@ -67,15 +58,44 @@ class FigureResult:
 
 
 # ----------------------------------------------------------------------
+# sweep helpers
+# ----------------------------------------------------------------------
+def _bench_sweep(labelled_specs: Sequence[Tuple[str, RunSpec]]) -> List[Series]:
+    """Execute (label, spec) pairs as one sweep; relabel the series."""
+    series = []
+    for (label, _spec), payload in zip(labelled_specs,
+                                       run_specs([s for _l, s in labelled_specs])):
+        s = series_from_payload(payload)
+        s.label = label
+        series.append(s)
+    return series
+
+
+def _per_network(bench: str, **kw) -> List[Series]:
+    """One microbench spec per interconnect, labelled with the paper names."""
+    return _bench_sweep([(LABEL[n], RunSpec.microbench(bench, n, **kw))
+                         for n in NETS])
+
+
+def _app_elapsed(specs: Sequence[RunSpec]) -> List[float]:
+    """Execute app specs as one sweep; return full-run seconds for each."""
+    return [p["elapsed_s"] for p in run_specs(specs)]
+
+
+def _app_spec(app: str, klass: str, network: str, nprocs: int, quick: bool,
+              ppn: int = 1, net_overrides: Optional[dict] = None) -> RunSpec:
+    return RunSpec.app(app, klass, network, nprocs, ppn=ppn, record=False,
+                       sample_iters=2 if quick else None,
+                       net_overrides=net_overrides)
+
+
+# ----------------------------------------------------------------------
 # micro-benchmark figures
 # ----------------------------------------------------------------------
 def fig01(quick: bool = True) -> FigureResult:
     """Fig. 1: MPI latency across the three interconnects."""
     sizes = tuple(4 ** k for k in range(1, 8))
-    iters = 15 if quick else 40
-    series = [measure_latency(n, sizes=sizes, iters=iters) for n in NETS]
-    for s, n in zip(series, NETS):
-        s.label = LABEL[n]
+    series = _per_network("latency", sizes=sizes, iters=15 if quick else 40)
     return FigureResult("fig1", "MPI latency across three interconnects",
                         series, "us",
                         paper_note="small-msg: QSN 4.6, Myri 6.7, IBA 6.8 us; "
@@ -86,13 +106,12 @@ def fig02(quick: bool = True) -> FigureResult:
     """Fig. 2: uni-directional bandwidth, window sizes 4 and 16."""
     sizes = tuple(4 ** k for k in range(1, 11)) if not quick else \
         (16, 256, 1024, 2048, 4096, 65536, 1048576)
-    series = []
-    for n in NETS:
-        for w in (4, 16):
-            s = measure_bandwidth(n, sizes=sizes, window=w,
-                                  rounds=6 if quick else 12)
-            s.label = f"{LABEL[n]} {w}"
-            series.append(s)
+    series = _bench_sweep([
+        (f"{LABEL[n]} {w}",
+         RunSpec.microbench("bandwidth", n, sizes=sizes, window=w,
+                            rounds=6 if quick else 12))
+        for n in NETS for w in (4, 16)
+    ])
     return FigureResult("fig2", "MPI uni-directional bandwidth (windows 4, 16)",
                         series, "MB/s",
                         paper_note="peaks: IBA 841, QSN 308, Myri 235 MB/s; "
@@ -103,10 +122,8 @@ def fig02(quick: bool = True) -> FigureResult:
 def fig03(quick: bool = True) -> FigureResult:
     """Fig. 3: host overhead during the latency test."""
     sizes = tuple(2 ** k for k in range(1, 11))
-    series = [measure_host_overhead(n, sizes=sizes, iters=10 if quick else 30)
-              for n in NETS]
-    for s, n in zip(series, NETS):
-        s.label = LABEL[n]
+    series = _per_network("host_overhead", sizes=sizes,
+                          iters=10 if quick else 30)
     return FigureResult("fig3", "MPI host overhead in the latency test",
                         series, "us",
                         paper_note="Myri ~0.8, IBA ~1.7, QSN ~3.3 us; QSN dips "
@@ -116,10 +133,8 @@ def fig03(quick: bool = True) -> FigureResult:
 def fig04(quick: bool = True) -> FigureResult:
     """Fig. 4: bi-directional latency."""
     sizes = tuple(4 ** k for k in range(1, 7))
-    series = [measure_bidir_latency(n, sizes=sizes, iters=15 if quick else 30)
-              for n in NETS]
-    for s, n in zip(series, NETS):
-        s.label = LABEL[n]
+    series = _per_network("bidir_latency", sizes=sizes,
+                          iters=15 if quick else 30)
     return FigureResult("fig4", "MPI bi-directional latency", series, "us",
                         paper_note="small-msg: IBA 7.0, QSN 7.4, Myri 10.1 us "
                                    "(all degrade vs uni-directional)")
@@ -129,10 +144,8 @@ def fig05(quick: bool = True) -> FigureResult:
     """Fig. 5: bi-directional bandwidth."""
     sizes = (4096, 65536, 262144, 524288, 1048576) if quick else \
         tuple(4 ** k for k in range(1, 11))
-    series = [measure_bidir_bandwidth(n, sizes=sizes, rounds=5 if quick else 10)
-              for n in NETS]
-    for s, n in zip(series, NETS):
-        s.label = LABEL[n]
+    series = _per_network("bidir_bandwidth", sizes=sizes,
+                          rounds=5 if quick else 10)
     return FigureResult("fig5", "MPI bi-directional bandwidth", series, "MB/s",
                         paper_note="IBA ~900 (PCI-X bound), QSN 375 (PCI bound), "
                                    "Myri 473 dropping <340 past 256K (SRAM)")
@@ -141,9 +154,7 @@ def fig05(quick: bool = True) -> FigureResult:
 def fig06(quick: bool = True) -> FigureResult:
     """Fig. 6: computation/communication overlap potential."""
     sizes = (4, 256, 4096, 16384, 65536) if quick else tuple(4 ** k for k in range(1, 9))
-    series = [measure_overlap(n, sizes=sizes, iters=6 if quick else 10) for n in NETS]
-    for s, n in zip(series, NETS):
-        s.label = LABEL[n]
+    series = _per_network("overlap", sizes=sizes, iters=6 if quick else 10)
     return FigureResult("fig6", "Computation/communication overlap potential",
                         series, "us",
                         paper_note="IBA/Myri plateau past the eager limit "
@@ -154,13 +165,12 @@ def fig06(quick: bool = True) -> FigureResult:
 def fig07(quick: bool = True) -> FigureResult:
     """Fig. 7: latency vs buffer reuse (0/50/100%)."""
     sizes = (64, 1024, 4096, 16384) if quick else tuple(4 ** k for k in range(3, 8))
-    series = []
-    for n in NETS:
-        for pct in REUSE_PERCENTS:
-            s = measure_reuse_latency(n, pct, sizes=sizes,
-                                      iters=20 if quick else 40)
-            s.label = f"{LABEL[n]} {pct}"
-            series.append(s)
+    series = _bench_sweep([
+        (f"{LABEL[n]} {pct}",
+         RunSpec.microbench("reuse_latency", n, sizes=sizes,
+                            iters=20 if quick else 40, reuse_pct=pct))
+        for n in NETS for pct in REUSE_PERCENTS
+    ])
     return FigureResult("fig7", "MPI latency vs buffer reuse (0/50/100%)",
                         series, "us",
                         paper_note="all three degrade without reuse: IBA >1K "
@@ -171,13 +181,12 @@ def fig07(quick: bool = True) -> FigureResult:
 def fig08(quick: bool = True) -> FigureResult:
     """Fig. 8: bandwidth vs buffer reuse (0/50/100%)."""
     sizes = (1024, 16384, 65536) if quick else tuple(4 ** k for k in range(1, 9))
-    series = []
-    for n in NETS:
-        for pct in REUSE_PERCENTS:
-            s = measure_reuse_bandwidth(n, pct, sizes=sizes,
-                                        iters=64 if quick else 128)
-            s.label = f"{LABEL[n]} {pct}"
-            series.append(s)
+    series = _bench_sweep([
+        (f"{LABEL[n]} {pct}",
+         RunSpec.microbench("reuse_bandwidth", n, sizes=sizes,
+                            iters=64 if quick else 128, reuse_pct=pct))
+        for n in NETS for pct in REUSE_PERCENTS
+    ])
     return FigureResult("fig8", "MPI bandwidth vs buffer reuse (0/50/100%)",
                         series, "MB/s",
                         paper_note="IBA and QSN bandwidth collapse at 0% reuse; "
@@ -187,10 +196,8 @@ def fig08(quick: bool = True) -> FigureResult:
 def fig09(quick: bool = True) -> FigureResult:
     """Fig. 9: intra-node latency (two ranks on one node)."""
     sizes = tuple(4 ** k for k in range(1, 7))
-    series = [measure_intranode_latency(n, sizes=sizes, iters=15 if quick else 30)
-              for n in NETS]
-    for s, n in zip(series, NETS):
-        s.label = LABEL[n]
+    series = _per_network("intranode_latency", sizes=sizes, ppn=2,
+                          iters=15 if quick else 30)
     return FigureResult("fig9", "Intra-node MPI latency", series, "us",
                         paper_note="Myri 1.3, IBA 1.6 us (shared memory); QSN "
                                    "worse than its inter-node latency (loopback)")
@@ -199,10 +206,8 @@ def fig09(quick: bool = True) -> FigureResult:
 def fig10(quick: bool = True) -> FigureResult:
     """Fig. 10: intra-node bandwidth."""
     sizes = (4096, 65536, 262144, 1048576) if quick else tuple(4 ** k for k in range(1, 11))
-    series = [measure_intranode_bandwidth(n, sizes=sizes, rounds=5 if quick else 10)
-              for n in NETS]
-    for s, n in zip(series, NETS):
-        s.label = LABEL[n]
+    series = _per_network("intranode_bandwidth", sizes=sizes, ppn=2,
+                          rounds=5 if quick else 10)
     return FigureResult("fig10", "Intra-node MPI bandwidth", series, "MB/s",
                         paper_note="Myri/QSN collapse past the L2 (cache "
                                    "thrash); IBA >450 MB/s large (HCA loopback)")
@@ -211,9 +216,12 @@ def fig10(quick: bool = True) -> FigureResult:
 def fig11(quick: bool = True) -> FigureResult:
     """Fig. 11: MPI_Alltoall on 8 nodes (PMB)."""
     sizes = (4, 64, 1024, 4096) if quick else tuple(4 ** k for k in range(1, 7))
-    series = [measure_alltoall(n, sizes=sizes, iters=8 if quick else 20) for n in NETS]
-    for s, n in zip(series, NETS):
-        s.label = f"{LABEL[n]} Alltoall"
+    series = _bench_sweep([
+        (f"{LABEL[n]} Alltoall",
+         RunSpec.microbench("alltoall", n, sizes=sizes, nprocs=8,
+                            iters=8 if quick else 20))
+        for n in NETS
+    ])
     return FigureResult("fig11", "MPI_Alltoall on 8 nodes", series, "us",
                         paper_note="small-msg: IBA 31, Myri 36, QSN 67 us")
 
@@ -221,18 +229,19 @@ def fig11(quick: bool = True) -> FigureResult:
 def fig12(quick: bool = True) -> FigureResult:
     """Fig. 12: MPI_Allreduce on 8 nodes (PMB)."""
     sizes = (8, 64, 1024, 4096) if quick else tuple(4 ** k for k in range(1, 7))
-    series = [measure_allreduce(n, sizes=sizes, iters=8 if quick else 20) for n in NETS]
-    for s, n in zip(series, NETS):
-        s.label = f"{LABEL[n]} Allreduce"
+    series = _bench_sweep([
+        (f"{LABEL[n]} Allreduce",
+         RunSpec.microbench("allreduce", n, sizes=sizes, nprocs=8,
+                            iters=8 if quick else 20))
+        for n in NETS
+    ])
     return FigureResult("fig12", "MPI_Allreduce on 8 nodes", series, "us",
                         paper_note="small-msg: QSN 28, Myri 35, IBA 46 us")
 
 
 def fig13(quick: bool = True) -> FigureResult:
     """Fig. 13: MPI memory usage vs node count."""
-    series = [measure_memory_usage(n) for n in NETS]
-    for s, n in zip(series, NETS):
-        s.label = LABEL[n]
+    series = _per_network("memory_usage")
     return FigureResult("fig13", "MPI memory usage vs node count", series, "MB",
                         paper_note="IBA grows ~20->55 MB (per-RC-connection "
                                    "buffers); Myri and QSN stay flat")
@@ -244,15 +253,16 @@ def fig13(quick: bool = True) -> FigureResult:
 def _app_bars(fig_id: str, title: str, specs, note: str, quick: bool,
               ppn: int = 1, net_overrides: Optional[dict] = None,
               networks: Sequence[str] = NETS) -> FigureResult:
+    plan = [(app, klass, np_, n)
+            for app, klass, np_ in specs for n in networks]
+    elapsed = _app_elapsed([_app_spec(app, klass, n, np_, quick, ppn=ppn,
+                                      net_overrides=net_overrides)
+                            for app, klass, np_, n in plan])
     series = []
-    for app, klass, np_ in specs:
-        for n in networks:
-            r = run_app(app, klass, n, np_, ppn=ppn, record=False,
-                        sample_iters=2 if quick else None,
-                        net_overrides=net_overrides)
-            s = Series(f"{app.upper()}.{klass} {LABEL[n]}")
-            s.add(np_, r.elapsed_s)
-            series.append(s)
+    for (app, klass, np_, n), secs in zip(plan, elapsed):
+        s = Series(f"{app.upper()}.{klass} {LABEL[n]}")
+        s.add(np_, secs)
+        series.append(s)
     return FigureResult(fig_id, title, series, "seconds", kind="bar",
                         paper_note=note)
 
@@ -288,17 +298,16 @@ def fig17(quick: bool = True) -> FigureResult:
 def _speedup_series(app: str, klass: str, quick: bool,
                     counts=(2, 4, 8), networks=NETS) -> List[Series]:
     """Speedup vs the smallest count (paper Figs. 18-23: base = 2 nodes)."""
+    plan = [(n, np_) for n in networks for np_ in counts]
+    elapsed = _app_elapsed([_app_spec(app, klass, n, np_, quick)
+                            for n, np_ in plan])
+    times = {key: secs for key, secs in zip(plan, elapsed)}
     series = []
     for n in networks:
-        times = {}
-        for np_ in counts:
-            r = run_app(app, klass, n, np_, record=False,
-                        sample_iters=2 if quick else None)
-            times[np_] = r.elapsed_s
         s = Series(LABEL[n])
-        base = times[counts[0]] * counts[0]
+        base = times[(n, counts[0])] * counts[0]
         for np_ in counts:
-            s.add(np_, base / times[np_])
+            s.add(np_, base / times[(n, np_)])
         series.append(s)
     return series
 
@@ -343,23 +352,24 @@ def fig23(quick: bool = True) -> FigureResult:
 
 def fig24(quick: bool = True) -> FigureResult:
     """16-node InfiniBand (Topspin) scalability."""
+    app_counts = [("is", "B", (2, 4, 8, 16)),
+                  ("cg", "B", (2, 4, 8, 16)),
+                  ("mg", "B", (2, 4, 8, 16)),
+                  ("lu", "B", (2, 4, 8, 16)),
+                  ("ft", "B", (4, 8, 16)),
+                  ("sp", "B", (4, 16)),
+                  ("bt", "B", (4, 16))]
+    plan = [(app, klass, np_)
+            for app, klass, counts in app_counts for np_ in counts]
+    elapsed = _app_elapsed([_app_spec(app, klass, "infiniband", np_, quick)
+                            for app, klass, np_ in plan])
+    times = {key: secs for key, secs in zip(plan, elapsed)}
     series = []
-    for app, klass, counts in [("is", "B", (2, 4, 8, 16)),
-                               ("cg", "B", (2, 4, 8, 16)),
-                               ("mg", "B", (2, 4, 8, 16)),
-                               ("lu", "B", (2, 4, 8, 16)),
-                               ("ft", "B", (4, 8, 16)),
-                               ("sp", "B", (4, 16)),
-                               ("bt", "B", (4, 16))]:
-        times = {}
-        for np_ in counts:
-            r = run_app(app, klass, "infiniband", np_, record=False,
-                        sample_iters=2 if quick else None)
-            times[np_] = r.elapsed_s
+    for app, klass, counts in app_counts:
         s = Series(app.upper())
-        base = times[counts[0]] * counts[0]
+        base = times[(app, klass, counts[0])] * counts[0]
         for np_ in counts:
-            s.add(np_, base / times[np_])
+            s.add(np_, base / times[(app, klass, np_)])
         series.append(s)
     return FigureResult("fig24", "InfiniBand scalability to 16 nodes (Topspin)",
                         series, "speedup",
@@ -380,42 +390,49 @@ def fig26(quick: bool = True) -> FigureResult:
     """Fig. 26: InfiniBand latency, PCI vs PCI-X."""
     sizes = tuple(4 ** k for k in range(1, 7))
     iters = 15 if quick else 30
-    pcix = measure_latency("infiniband", sizes=sizes, iters=iters)
-    pcix.label = "PCI-X"
-    pci = measure_latency("infiniband", sizes=sizes, iters=iters,
-                          net_overrides={"bus_kind": "pci"})
-    pci.label = "PCI"
+    series = _bench_sweep([
+        ("PCI-X", RunSpec.microbench("latency", "infiniband", sizes=sizes,
+                                     iters=iters)),
+        ("PCI", RunSpec.microbench("latency", "infiniband", sizes=sizes,
+                                   iters=iters,
+                                   net_overrides={"bus_kind": "pci"})),
+    ])
     return FigureResult("fig26", "InfiniBand latency: PCI vs PCI-X",
-                        [pcix, pci], "us",
+                        series, "us",
                         paper_note="PCI adds ~0.6 us for small messages")
 
 
 def fig27(quick: bool = True) -> FigureResult:
     """Fig. 27: InfiniBand bandwidth, PCI vs PCI-X."""
     sizes = (4096, 65536, 1048576) if quick else tuple(4 ** k for k in range(1, 11))
-    pcix = measure_bandwidth("infiniband", sizes=sizes, rounds=6)
-    pcix.label = "PCI-X"
-    pci = measure_bandwidth("infiniband", sizes=sizes, rounds=6,
-                            net_overrides={"bus_kind": "pci"})
-    pci.label = "PCI"
+    series = _bench_sweep([
+        ("PCI-X", RunSpec.microbench("bandwidth", "infiniband", sizes=sizes,
+                                     rounds=6)),
+        ("PCI", RunSpec.microbench("bandwidth", "infiniband", sizes=sizes,
+                                   rounds=6,
+                                   net_overrides={"bus_kind": "pci"})),
+    ])
     return FigureResult("fig27", "InfiniBand bandwidth: PCI vs PCI-X",
-                        [pcix, pci], "MB/s",
+                        series, "MB/s",
                         paper_note="841 MB/s drops to 378 MB/s on PCI")
 
 
 def fig28(quick: bool = True) -> FigureResult:
     """NAS over IB: PCI vs PCI-X (SP/BT on 4 nodes, others on 8)."""
+    plan = [(app, klass, np_, label, overrides)
+            for app, klass, np_ in [("is", "B", 8), ("mg", "B", 8),
+                                    ("lu", "B", 8), ("cg", "B", 8),
+                                    ("ft", "B", 8), ("sp", "B", 4),
+                                    ("bt", "B", 4)]
+            for label, overrides in (("PCI-X", None), ("PCI", {"bus_kind": "pci"}))]
+    elapsed = _app_elapsed([_app_spec(app, klass, "infiniband", np_, quick,
+                                      net_overrides=overrides)
+                            for app, klass, np_, _label, overrides in plan])
     series = []
-    for app, klass, np_ in [("is", "B", 8), ("mg", "B", 8), ("lu", "B", 8),
-                            ("cg", "B", 8), ("ft", "B", 8),
-                            ("sp", "B", 4), ("bt", "B", 4)]:
-        for label, overrides in (("PCI-X", None), ("PCI", {"bus_kind": "pci"})):
-            r = run_app(app, klass, "infiniband", np_, record=False,
-                        sample_iters=2 if quick else None,
-                        net_overrides=overrides)
-            s = Series(f"{app.upper()} {label}")
-            s.add(np_, r.elapsed_s)
-            series.append(s)
+    for (app, _klass, np_, label, _ov), secs in zip(plan, elapsed):
+        s = Series(f"{app.upper()} {label}")
+        s.add(np_, secs)
+        series.append(s)
     return FigureResult("fig28", "MPI over InfiniBand: PCI vs PCI-X (NAS class B)",
                         series, "seconds", kind="bar",
                         paper_note="average degradation below 5%")

@@ -4,6 +4,11 @@
 report — the "run everything" entry point for someone auditing the
 reproduction (``python -m repro report > REPORT.txt``).  Quick mode
 takes ~10-15 minutes of wall time; full mode several times that.
+
+All drivers execute their simulations through :mod:`repro.runtime`, so
+runs shared between artifacts (e.g. the class-B NAS runs behind fig14,
+fig18-23, table2 and the profiling tables) are simulated once; pass
+``jobs > 1`` to fan independent runs out over worker processes.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, Optional, TextIO
 
+from repro import runtime
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.tables import TABLES, run_table
 
@@ -19,11 +25,14 @@ __all__ = ["reproduce_all"]
 
 def reproduce_all(quick: bool = True, out: Optional[TextIO] = None,
                   artifacts: Optional[Iterable[str]] = None,
-                  progress: bool = True) -> str:
+                  progress: bool = True, jobs: Optional[int] = None) -> str:
     """Run every figure/table driver (or the named subset) and render.
 
     Returns the full report text; also streams it to ``out`` if given.
+    ``jobs`` (when set) reconfigures the process-wide runtime executor.
     """
+    if jobs is not None:
+        runtime.configure(jobs=jobs)
     names = list(artifacts) if artifacts is not None else (
         sorted(FIGURES, key=lambda f: int(f[3:])) + sorted(TABLES))
     chunks = [
@@ -37,6 +46,8 @@ def reproduce_all(quick: bool = True, out: Optional[TextIO] = None,
         if out is not None:
             print(text, file=out, flush=True)
 
+    stats = runtime.cache_stats()
+    hits0, misses0 = stats.hits, stats.misses
     for name in names:
         t0 = time.time()
         if name in FIGURES:
@@ -50,4 +61,8 @@ def reproduce_all(quick: bool = True, out: Optional[TextIO] = None,
         if progress:
             emit(f"[{name}: regenerated in {wall:.1f}s wall]")
         emit("")
+    if progress:
+        stats = runtime.cache_stats()
+        emit(f"[run cache: {stats.hits - hits0} hits, "
+             f"{stats.misses - misses0} simulated specs]")
     return "\n".join(chunks)

@@ -1,11 +1,17 @@
-"""Table drivers: regenerate the paper's Tables 1-6."""
+"""Table drivers: regenerate the paper's Tables 1-6.
+
+Like the figure drivers, every table declares its application runs as
+:class:`~repro.runtime.spec.RunSpec` sweeps.  Tables 1 and 3-5 profile
+the *same* InfiniBand runs, so after the first table the remaining ones
+are served entirely from the result cache.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List
 
-from repro.apps import run_app
+from repro.apps.runner import app_result_from_payload
 from repro.experiments.ascii_plot import table as render_table
 from repro.networks import NETWORKS
 from repro.profiling import (
@@ -15,6 +21,7 @@ from repro.profiling import (
     message_size_histogram,
     nonblocking_stats,
 )
+from repro.runtime import RunSpec, run_specs
 
 __all__ = ["TableResult", "TABLES", "run_table"]
 
@@ -48,13 +55,11 @@ class TableResult:
 
 
 def _profile_runs(quick: bool, specs=APP_SPECS, ppn: int = 1):
-    """Run each application once on InfiniBand and keep the recorders."""
-    out = []
-    for app, klass, np_ in specs:
-        r = run_app(app, klass, "infiniband", np_, ppn=ppn,
-                    sample_iters=2 if quick else None)
-        out.append(r)
-    return out
+    """Run each application on InfiniBand (one sweep) and keep the recorders."""
+    plan = [RunSpec.app(app, klass, "infiniband", np_, ppn=ppn, record=True,
+                        sample_iters=2 if quick else None)
+            for app, klass, np_ in specs]
+    return [app_result_from_payload(p) for p in run_specs(plan)]
 
 
 def table1(quick: bool = True) -> TableResult:
@@ -74,20 +79,27 @@ def table1(quick: bool = True) -> TableResult:
 
 def table2(quick: bool = True) -> TableResult:
     """Execution times for 2/4/8 processes on all three networks."""
-    rows = []
     specs = [("is", "B"), ("cg", "B"), ("mg", "B"), ("lu", "B"), ("ft", "B"),
              ("sweep3d", "50"), ("sweep3d", "150")]
     labels = ["IS", "CG", "MG", "LU", "FT", "S3d-50", "S3d-150"]
+    # class B FT does not fit on 2 nodes
+    plan = [(app, klass, net, np_)
+            for app, klass in specs for net in NETS for np_ in (2, 4, 8)
+            if not (app == "ft" and np_ == 2)]
+    payloads = run_specs([
+        RunSpec.app(app, klass, net, np_, record=False,
+                    sample_iters=2 if quick else None)
+        for app, klass, net, np_ in plan])
+    secs = {key: p["elapsed_s"] for key, p in zip(plan, payloads)}
+    rows = []
     for label, (app, klass) in zip(labels, specs):
         row = [label]
         for net in NETS:
             for np_ in (2, 4, 8):
                 if app == "ft" and np_ == 2:
-                    row.append("-")  # class B FT does not fit on 2 nodes
-                    continue
-                r = run_app(app, klass, net, np_, record=False,
-                            sample_iters=2 if quick else None)
-                row.append(round(r.elapsed_s, 2))
+                    row.append("-")
+                else:
+                    row.append(round(secs[(app, klass, net, np_)], 2))
         rows.append(row)
     return TableResult(
         "table2", "Scalability with System Sizes (execution seconds)",

@@ -5,12 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.units import KB, MB, bytes_per_us_to_mbps, fmt_size
+from repro.core.units import bytes_per_us_to_mbps, fmt_size
 from repro.mpi.world import MPIWorld
 
 __all__ = [
     "PAPER_LAT_SIZES", "PAPER_BW_SIZES", "PAPER_SMALL_SIZES",
     "Series", "run_pair", "bandwidth_mbps",
+    "bench_registry", "series_from_payload", "measure",
 ]
 
 #: Fig. 1 x-axis: 4 B .. 16 KB in powers of 4
@@ -65,3 +66,55 @@ def bandwidth_mbps(nbytes_total: float, elapsed_us: float) -> float:
     if elapsed_us <= 0:
         return 0.0
     return bytes_per_us_to_mbps(nbytes_total / elapsed_us)
+
+
+# ----------------------------------------------------------------------
+# run-plan integration: every measure_* sweep is addressable by name, so
+# the figure drivers (and anyone else) can describe it as a RunSpec and
+# get caching + parallel fan-out from repro.runtime for free.
+# ----------------------------------------------------------------------
+def bench_registry() -> Dict[str, Callable[..., Series]]:
+    """Name -> ``measure_*`` function, for ``RunSpec(kind='microbench')``.
+
+    Imports are local: the measurement modules import this one.
+    """
+    from repro.microbench import bandwidth as bw
+    from repro.microbench import buffer_reuse as reuse
+    from repro.microbench import collectives as coll
+    from repro.microbench import intranode, latency, memusage, overhead, overlap
+
+    return {
+        "latency": latency.measure_latency,
+        "bidir_latency": latency.measure_bidir_latency,
+        "bandwidth": bw.measure_bandwidth,
+        "bidir_bandwidth": bw.measure_bidir_bandwidth,
+        "host_overhead": overhead.measure_host_overhead,
+        "overlap": overlap.measure_overlap,
+        "reuse_latency": reuse.measure_reuse_latency,
+        "reuse_bandwidth": reuse.measure_reuse_bandwidth,
+        "intranode_latency": intranode.measure_intranode_latency,
+        "intranode_bandwidth": intranode.measure_intranode_bandwidth,
+        "alltoall": coll.measure_alltoall,
+        "allreduce": coll.measure_allreduce,
+        "memory_usage": memusage.measure_memory_usage,
+    }
+
+
+def series_from_payload(payload: dict) -> Series:
+    """Rebuild a :class:`Series` from an executed microbench payload."""
+    return Series(payload["label"],
+                  [(x, y) for x, y in payload["points"]])
+
+
+def measure(bench: str, network: str, **kwargs) -> Series:
+    """Run one registered micro-benchmark through the runtime cache.
+
+    Keyword arguments mirror the underlying ``measure_*`` function
+    (``sizes``, ``iters``, ``net_overrides``, plus bench-specific ones
+    like ``window`` or ``reuse_pct``).
+    """
+    from repro import runtime
+    from repro.runtime.spec import RunSpec
+
+    spec = RunSpec.microbench(bench, network, **kwargs)
+    return series_from_payload(runtime.run_spec(spec))

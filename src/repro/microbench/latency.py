@@ -8,7 +8,7 @@ bus and wire at once (§3.3).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.microbench.common import PAPER_LAT_SIZES, Series, run_pair
 

@@ -19,12 +19,12 @@ overhead measurements fall out of the same accounting.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core.engine import Simulator
 from repro.core.resources import Gate, Store
 from repro.hardware.cpu import HostCPU
-from repro.hardware.memory import AddressSpace, Buffer
+from repro.hardware.memory import AddressSpace
 from repro.mpi.matching import Envelope, MatchEngine
 from repro.mpi.request import Request
 from repro.mpi.status import Status

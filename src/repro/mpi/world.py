@@ -22,7 +22,7 @@ Rank functions are generator coroutines taking the communicator::
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.engine import Simulator

@@ -18,13 +18,13 @@ Timing model split of responsibilities:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.engine import Event, Simulator
-from repro.core.resources import Gate, Store
+from repro.core.resources import Gate
 from repro.hardware.memory import Buffer, PinDownCache, RegistrationError
 from repro.networks.base import Packet
 

@@ -18,8 +18,8 @@ numbers (Fig. 11) despite its excellent latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, List, Optional
 
 import numpy as np
 

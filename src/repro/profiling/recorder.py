@@ -17,7 +17,7 @@ reflect the full run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 __all__ = ["CallRecord", "TransferRecord", "Recorder"]
@@ -90,6 +90,28 @@ class Recorder:
         self.transfers.append(TransferRecord(
             rank, peer, nbytes, intra, self.in_collective(rank), 0.0
         ))
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form (for the run-plan cache); inverse of :meth:`from_dict`."""
+        return {
+            "scale": self.scale,
+            "sample_iters": self.sample_iters,
+            "calls": [[c.rank, c.func, c.peer, c.nbytes, c.buf_addr, c.t_start,
+                       c.t_end, c.blocking, c.collective, c.intra]
+                      for c in self.calls],
+            "transfers": [[t.rank, t.peer, t.nbytes, t.intra, t.in_collective,
+                           t.time] for t in self.transfers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Recorder":
+        rec = cls()
+        rec.scale = data["scale"]
+        rec.sample_iters = data["sample_iters"]
+        rec.calls = [CallRecord(*row) for row in data["calls"]]
+        rec.transfers = [TransferRecord(*row) for row in data["transfers"]]
+        return rec
 
     # -- convenience -----------------------------------------------------------
     def clear(self) -> None:

@@ -9,7 +9,7 @@ extrapolated to full-length executions.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.units import KB, MB
 from repro.profiling.recorder import Recorder

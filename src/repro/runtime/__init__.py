@@ -1,0 +1,103 @@
+"""Unified run-plan layer: declarative specs, result cache, sweep executor.
+
+Every simulation in the repo — micro-benchmark sweeps and application
+runs alike — is described by a frozen :class:`RunSpec` and executed
+through one shared pipeline::
+
+    spec  ->  SweepExecutor  ->  ResultCache  ->  payload (plain dict)
+
+The layer gives every artifact driver three properties for free:
+
+- **dedup** — the class-B NAS run behind fig14 is the *same spec* as
+  the one behind table2, so it is simulated once per process (and once
+  ever, with the on-disk cache);
+- **parallelism** — independent specs fan out over ``multiprocessing``
+  workers (``--jobs N``) with byte-identical output to serial runs;
+- **reproducible identity** — a spec's sha256 digest is stable across
+  processes, so results are content-addressed, salted by code version.
+
+Module-level helpers hold the process-wide executor configuration that
+the CLI (``--jobs`` / ``--no-cache`` / ``--cache-dir``) and the
+benchmark harness adjust::
+
+    from repro import runtime
+    runtime.configure(jobs=4)
+    payloads = runtime.run_specs(specs)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.runtime.cache import (DEFAULT_CACHE_DIR, CacheStats, ResultCache,
+                                 code_salt)
+from repro.runtime.executor import SweepExecutor, execute_spec
+from repro.runtime.spec import (SPEC_SCHEMA_VERSION, RunSpec, freeze_mapping,
+                                thaw_mapping)
+
+__all__ = [
+    "RunSpec", "ResultCache", "CacheStats", "SweepExecutor",
+    "execute_spec", "configure", "reset", "run_spec", "run_specs",
+    "get_cache", "get_executor", "cache_stats",
+    "DEFAULT_CACHE_DIR", "SPEC_SCHEMA_VERSION", "code_salt",
+    "freeze_mapping", "thaw_mapping",
+]
+
+#: process-wide runtime state; adjusted via configure()/reset()
+_state = {"jobs": 1, "cache": ResultCache()}
+
+
+def configure(jobs: Optional[int] = None, enabled: Optional[bool] = None,
+              disk_dir: Optional[Union[str, Path, bool]] = None) -> None:
+    """Adjust the process-wide executor.
+
+    ``jobs``: worker count for subsequent sweeps (1 = serial).
+    ``enabled``: False drops the cache entirely (every spec re-simulates).
+    ``disk_dir``: a path (or True for ``.repro_cache/``) enables the
+    on-disk JSON tier; existing in-memory entries are kept.
+    """
+    if jobs is not None:
+        _state["jobs"] = max(1, int(jobs))
+    if enabled is not None:
+        if not enabled:
+            _state["cache"] = None
+        elif _state["cache"] is None:
+            _state["cache"] = ResultCache()
+    if disk_dir is not None and _state["cache"] is not None:
+        if disk_dir is True:
+            disk_dir = DEFAULT_CACHE_DIR
+        _state["cache"].disk_dir = Path(disk_dir)
+
+
+def reset(jobs: int = 1, enabled: bool = True,
+          disk_dir: Optional[Union[str, Path]] = None) -> None:
+    """Fresh runtime state (empty cache, zeroed stats) — used by tests."""
+    _state["jobs"] = max(1, int(jobs))
+    _state["cache"] = ResultCache(disk_dir=disk_dir) if enabled else None
+
+
+def get_cache() -> Optional[ResultCache]:
+    """The process-wide cache, or None when caching is disabled."""
+    return _state["cache"]
+
+
+def get_executor() -> SweepExecutor:
+    """An executor bound to the current jobs/cache configuration."""
+    return SweepExecutor(jobs=_state["jobs"], cache=_state["cache"])
+
+
+def run_specs(specs: Sequence[RunSpec]) -> List[dict]:
+    """Run a sweep through the process-wide executor (cached, parallel)."""
+    return get_executor().run(specs)
+
+
+def run_spec(spec: RunSpec) -> dict:
+    """Run one spec through the process-wide executor."""
+    return get_executor().run_one(spec)
+
+
+def cache_stats() -> CacheStats:
+    """Current hit/miss counters (zeros if caching is disabled)."""
+    cache = _state["cache"]
+    return cache.stats if cache is not None else CacheStats()

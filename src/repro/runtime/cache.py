@@ -1,0 +1,134 @@
+"""Content-addressed result cache for :class:`~repro.runtime.spec.RunSpec`.
+
+Payloads (plain JSON-able dicts produced by the executor) are keyed by
+the spec's content digest plus a *code-version salt*, so a recalibrated
+model never serves stale numbers.  Two tiers:
+
+- **in-memory** — always on; this is what deduplicates the repeated
+  class-B NAS runs across figure and table drivers in one process;
+- **on-disk** — optional; one JSON file per result under
+  ``<dir>/<salt>/<digest>.json`` (conventionally ``.repro_cache/``),
+  surviving across processes and CLI invocations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.runtime.spec import RunSpec, SPEC_SCHEMA_VERSION
+
+__all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR", "code_salt"]
+
+#: conventional on-disk location (relative to the working directory)
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def code_salt() -> str:
+    """Version salt mixed into every key: digest alone is not enough,
+    because a model recalibration changes results without changing specs."""
+    from repro import __version__
+
+    return f"repro-{__version__}-s{SPEC_SCHEMA_VERSION}"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting: ``misses`` == simulations actually executed."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.stores = self.disk_hits = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "disk_hits": self.disk_hits}
+
+    def __str__(self) -> str:
+        return (f"{self.hits} hits, {self.misses} misses "
+                f"({self.disk_hits} from disk, {self.stores} stored)")
+
+
+class ResultCache:
+    """Digest-keyed payload store with optional JSON spillover to disk."""
+
+    def __init__(self, disk_dir: Optional[Union[str, Path]] = None,
+                 salt: Optional[str] = None) -> None:
+        self.salt = salt if salt is not None else code_salt()
+        self.disk_dir = Path(disk_dir) if disk_dir else None
+        self._mem: dict = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _path(self, digest: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / self.salt / f"{digest}.json"
+
+    def lookup(self, spec: RunSpec) -> Optional[dict]:
+        """Return the cached payload, or None (counting a hit or a miss)."""
+        digest = spec.digest
+        payload = self._mem.get(digest)
+        if payload is not None:
+            self.stats.hits += 1
+            return payload
+        if self.disk_dir is not None:
+            path = self._path(digest)
+            if path.is_file():
+                try:
+                    payload = json.loads(path.read_text())
+                except (OSError, ValueError):
+                    payload = None
+                if isinstance(payload, dict):
+                    self._mem[digest] = payload
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    return payload
+        self.stats.misses += 1
+        return None
+
+    def store(self, spec: RunSpec, payload: dict) -> None:
+        digest = spec.digest
+        self._mem[digest] = payload
+        self.stats.stores += 1
+        if self.disk_dir is not None:
+            path = self._path(digest)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # write-then-rename so a concurrent reader never sees a torn file
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+
+    # ------------------------------------------------------------------
+    def __contains__(self, spec: RunSpec) -> bool:
+        return spec.digest in self._mem
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def clear(self, stats: bool = True) -> None:
+        """Drop in-memory entries (disk files are left alone)."""
+        self._mem.clear()
+        if stats:
+            self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        where = f" disk={self.disk_dir}" if self.disk_dir else ""
+        return f"<ResultCache {len(self._mem)} entries{where} [{self.stats}]>"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import LogGPParams, extract_loggp, loggp_report
+from repro.analysis import extract_loggp, loggp_report
 from repro.microbench import measure_bandwidth, measure_latency
 
 

@@ -1,8 +1,6 @@
 """Unit tests for the applications' internal machinery (grids,
 permutations, serial references, work model)."""
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

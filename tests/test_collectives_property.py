@@ -1,11 +1,10 @@
 """Property-based collective tests: random shapes, roots, ops, groups."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mpi import MAX, MIN, PROD, SUM, mpi_run
+from repro.mpi import MAX, MIN, SUM, mpi_run
 from repro.mpi.world import MPIWorld
 
 _OPS = {"sum": (SUM, np.sum), "max": (MAX, np.max), "min": (MIN, np.min)}

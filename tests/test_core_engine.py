@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.engine import Event, SimulationError, Simulator, Timeout
+from repro.core.engine import SimulationError, Simulator, Timeout
 from repro.core.process import Process, ProcessKilled
 
 

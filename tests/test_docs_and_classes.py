@@ -8,7 +8,7 @@ import pytest
 
 import repro
 from repro.apps import run_app
-from repro.apps.classes import PROBLEMS, get_problem
+from repro.apps.classes import get_problem
 from repro.mpi import mpi_run
 
 
@@ -65,8 +65,6 @@ class TestProblemClasses:
         assert times["A"] < times["B"] < times["C"]
 
     def test_class_a_message_sizes_shrink(self):
-        from repro.profiling import message_size_histogram
-
         a = run_app("ft", "A", "infiniband", 4, sample_iters=2)
         b = run_app("ft", "B", "infiniband", 4, sample_iters=2)
         # FT class A's alltoall buffers are 1/4 the class B size but

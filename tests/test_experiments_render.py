@@ -23,7 +23,7 @@ class TestAsciiPlot:
 
     def test_bar_chart_scales_to_max(self):
         txt = bar_chart(["a", "b"], [1.0, 2.0], title="bars")
-        rows = [l for l in txt.splitlines() if "|" in l]
+        rows = [ln for ln in txt.splitlines() if "|" in ln]
         assert rows[1].count("#") == 2 * rows[0].count("#")
 
     def test_bar_chart_length_mismatch(self):
@@ -33,12 +33,12 @@ class TestAsciiPlot:
     def test_text_table_alignment(self):
         txt = text_table(["col", "value"], [["x", 1.5], ["long", 22.25]])
         lines = txt.splitlines()
-        assert len({len(l) for l in lines if l.strip()}) <= 2  # aligned
+        assert len({len(ln) for ln in lines if ln.strip()}) <= 2  # aligned
 
     def test_log_x_positions_monotonic(self):
         s = Series("s", [(4, 1.0), (4096, 1.0), (1 << 20, 1.0)])
         txt = line_chart([s])
-        row = next(l for l in txt.splitlines() if "*" in l)
+        row = next(ln for ln in txt.splitlines() if "*" in ln)
         cols = [i for i, ch in enumerate(row) if ch == "*"]
         assert cols == sorted(cols) and len(cols) == 3
 
@@ -76,13 +76,13 @@ class TestCalibrationDoc:
 
     def test_every_anchor_names_real_code(self):
         """The code pointers in the anchor table must resolve."""
-        import repro.hardware.bus
-        import repro.hardware.cpu
-        from repro.mpi.devices import (MpichGmDevice, MpichQuadricsDevice,
-                                       MvapichDevice)
-        from repro.networks.infiniband.params import InfiniBandParams
-        from repro.networks.myrinet.params import MyrinetParams
-        from repro.networks.quadrics.params import QuadricsParams
+        import repro.hardware.bus  # noqa: F401
+        import repro.hardware.cpu  # noqa: F401
+        from repro.mpi.devices import (MpichGmDevice,  # noqa: F401
+                                       MpichQuadricsDevice, MvapichDevice)
+        from repro.networks.infiniband.params import InfiniBandParams  # noqa: F401
+        from repro.networks.myrinet.params import MyrinetParams  # noqa: F401
+        from repro.networks.quadrics.params import QuadricsParams  # noqa: F401
 
         known_attrs = {
             "InfiniBandParams.wire_bw_mbps": InfiniBandParams,

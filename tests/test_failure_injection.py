@@ -12,7 +12,6 @@ from repro.core.engine import SimulationError, Simulator
 from repro.hardware.memory import RegistrationError
 from repro.mpi import mpi_run
 from repro.mpi.request import Request
-from repro.mpi.world import MPIWorld
 
 
 class TestProgramErrors:

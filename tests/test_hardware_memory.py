@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.hardware.memory import (
     PAGE_SIZE,
     AddressSpace,
-    Buffer,
     NicTlb,
     PinDownCache,
 )

@@ -237,7 +237,7 @@ class TestMappings:
 
 class TestTypedAndPersistent:
     def test_typed_roundtrip_sizes(self, network):
-        from repro.mpi.datatypes import DOUBLE, INT, contiguous
+        from repro.mpi.datatypes import DOUBLE, INT
 
         def fn(comm):
             if comm.rank == 0:

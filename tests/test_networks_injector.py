@@ -1,6 +1,5 @@
 """Properties of the fabric injector: FIFO order, pacing, concurrency."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ interleavings, unexpected-queue ordering, channel mixing).
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,278 @@
+"""Tests for the run-plan layer: RunSpec identity, cache, executor.
+
+The properties locked down here are what the whole layer rests on:
+
+- a spec's digest is a pure function of its *content* (stable across
+  processes, independent of dict order and network aliases, changed by
+  every field);
+- the cache counts exactly one miss per simulation actually executed,
+  and the disk tier round-trips across fresh caches but never across a
+  code-version salt change;
+- the parallel executor is an optimization only: its payloads are
+  byte-identical to serial execution for mixed app/microbench sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import runtime
+from repro.runtime import (ResultCache, RunSpec, SweepExecutor, code_salt,
+                           execute_spec, freeze_mapping, thaw_mapping)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runtime():
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+def tiny_app_spec(**kw):
+    kw.setdefault("sample_iters", 2)
+    kw.setdefault("record", False)
+    return RunSpec.app("is", "S", "infiniband", 2, **kw)
+
+
+def tiny_bench_spec(**kw):
+    kw.setdefault("sizes", (4, 64))
+    kw.setdefault("iters", 3)
+    return RunSpec.microbench("latency", "infiniband", **kw)
+
+
+# ----------------------------------------------------------------------
+# RunSpec identity
+# ----------------------------------------------------------------------
+class TestSpecDigest:
+    def test_equal_specs_equal_digests(self):
+        assert tiny_app_spec().digest == tiny_app_spec().digest
+        assert tiny_app_spec() == tiny_app_spec()
+        assert hash(tiny_app_spec()) == hash(tiny_app_spec())
+
+    def test_digest_stable_across_processes(self):
+        """The digest is content-addressed, not id/hash-seed dependent."""
+        spec = tiny_bench_spec(net_overrides={"mtu": 1024})
+        prog = (
+            "from repro.runtime import RunSpec; "
+            "print(RunSpec.microbench('latency', 'infiniband', "
+            "sizes=(4, 64), iters=3, net_overrides={'mtu': 1024}).digest)"
+        )
+        out = subprocess.run([sys.executable, "-c", prog], check=True,
+                             capture_output=True, text=True)
+        assert out.stdout.strip() == spec.digest
+
+    def test_every_field_change_changes_digest(self):
+        base = RunSpec.app("cg", "A", "infiniband", 4, ppn=1, record=True)
+        changed = {
+            "target": "mg", "network": "myrinet", "klass": "B",
+            "nprocs": 8, "ppn": 2, "mapping": "cyclic", "bus_kind": "pci",
+            "mpi_options": (("vbuf_total", 100),),
+            "net_overrides": (("mtu", 2048),),
+            "sizes": (4,), "iters": 10, "seed": 7, "record": False,
+            "params": (("verify", True),),
+        }
+        digests = {base.digest}
+        for field_name, value in changed.items():
+            d = base.replace(**{field_name: value}).digest
+            assert d not in digests, f"changing {field_name} did not change digest"
+            digests.add(d)
+        # every field produced a distinct digest
+        assert len(digests) == len(changed) + 1
+
+    def test_network_aliases_normalize(self):
+        a = tiny_bench_spec()
+        b = dataclasses.replace(a, network="iba")
+        c = dataclasses.replace(a, network="InfiniBand")
+        assert a.digest == b.digest == c.digest
+
+    def test_mapping_order_does_not_matter(self):
+        a = RunSpec.microbench("latency", "myrinet",
+                               net_overrides={"mtu": 4096, "lanai_dma_mbps": 400.0})
+        b = RunSpec.microbench("latency", "myrinet",
+                               net_overrides={"lanai_dma_mbps": 400.0, "mtu": 4096})
+        assert a.digest == b.digest
+
+    def test_bus_kind_extracted_from_net_overrides(self):
+        spec = tiny_app_spec(net_overrides={"bus_kind": "pci", "mtu": 1024})
+        assert spec.bus_kind == "pci"
+        assert dict(spec.net_overrides) == {"mtu": 1024}
+        assert spec.merged_net_overrides() == {"mtu": 1024, "bus_kind": "pci"}
+
+    def test_specs_reject_bad_values(self):
+        with pytest.raises(ValueError):
+            RunSpec(kind="nope", target="x")
+        with pytest.raises(ValueError):
+            RunSpec(kind="app", target="is", nprocs=0)
+        with pytest.raises(ValueError):
+            RunSpec(kind="app", target="is", mapping="diagonal")
+
+    def test_freeze_thaw_roundtrip(self):
+        d = {"b": 2, "a": {"y": [1, 2], "x": 1}}
+        frozen = freeze_mapping(d)
+        assert frozen == (("a", (("x", 1), ("y", (1, 2)))), ("b", 2))
+        assert thaw_mapping(frozen)["b"] == 2
+
+    def test_describe_is_short_and_informative(self):
+        assert tiny_app_spec().describe() == "app:is.S@infiniband np=2x1"
+
+
+# ----------------------------------------------------------------------
+# ResultCache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_hit_miss_accounting(self):
+        cache = ResultCache()
+        spec = tiny_bench_spec()
+        assert cache.lookup(spec) is None
+        cache.store(spec, {"v": 1})
+        assert cache.lookup(spec) == {"v": 1}
+        assert cache.lookup(spec) == {"v": 1}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.stores == 1
+        assert cache.stats.lookups == 3
+        assert spec in cache and len(cache) == 1
+
+    def test_disk_tier_roundtrips_across_caches(self, tmp_path):
+        spec = tiny_bench_spec()
+        a = ResultCache(disk_dir=tmp_path)
+        a.lookup(spec)
+        a.store(spec, {"points": [[4, 5.0]]})
+        path = tmp_path / code_salt() / f"{spec.digest}.json"
+        assert path.is_file()
+        assert json.loads(path.read_text()) == {"points": [[4, 5.0]]}
+
+        b = ResultCache(disk_dir=tmp_path)  # fresh memory, same disk
+        assert b.lookup(spec) == {"points": [[4, 5.0]]}
+        assert b.stats.disk_hits == 1
+        assert b.lookup(spec) == {"points": [[4, 5.0]]}  # now from memory
+        assert b.stats.disk_hits == 1 and b.stats.hits == 2
+
+    def test_salt_mismatch_is_a_miss(self, tmp_path):
+        """A recalibration (new version salt) must never serve stale data."""
+        spec = tiny_bench_spec()
+        old = ResultCache(disk_dir=tmp_path, salt="repro-0.9.9-s1")
+        old.store(spec, {"stale": True})
+        new = ResultCache(disk_dir=tmp_path)
+        assert new.lookup(spec) is None
+        assert new.stats.misses == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        spec = tiny_bench_spec()
+        cache = ResultCache(disk_dir=tmp_path)
+        path = tmp_path / cache.salt / f"{spec.digest}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.lookup(spec) is None
+
+    def test_clear_drops_memory_not_disk(self, tmp_path):
+        spec = tiny_bench_spec()
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.store(spec, {"v": 1})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 0
+        assert cache.lookup(spec) == {"v": 1}  # re-read from disk
+        assert cache.stats.disk_hits == 1
+
+
+# ----------------------------------------------------------------------
+# SweepExecutor
+# ----------------------------------------------------------------------
+class TestSweepExecutor:
+    def test_duplicate_specs_simulated_once(self):
+        cache = ResultCache()
+        ex = SweepExecutor(jobs=1, cache=cache)
+        spec = tiny_bench_spec()
+        results = ex.run([spec, spec, spec])
+        assert len(results) == 3
+        assert results[0] is results[1] is results[2]
+        assert cache.stats.misses == 1  # one simulation for three requests
+
+    def test_rerun_is_fully_cached(self):
+        cache = ResultCache()
+        ex = SweepExecutor(jobs=1, cache=cache)
+        specs = [tiny_bench_spec(), tiny_bench_spec(iters=5)]
+        first = ex.run(specs)
+        misses = cache.stats.misses
+        second = ex.run(specs)
+        assert second == first
+        assert cache.stats.misses == misses  # zero new simulations
+
+    def test_results_align_with_input_order(self):
+        ex = SweepExecutor(jobs=1, cache=ResultCache())
+        s1 = tiny_bench_spec(sizes=(4,))
+        s2 = tiny_bench_spec(sizes=(64,))
+        r = ex.run([s2, s1, s2])
+        assert r[0]["points"][0][0] == 64.0
+        assert r[1]["points"][0][0] == 4.0
+        assert r[2] == r[0]
+
+    def test_no_cache_still_works(self):
+        ex = SweepExecutor(jobs=1, cache=None)
+        payload = ex.run_one(tiny_bench_spec())
+        assert payload["bench"] == "latency"
+        assert len(payload["points"]) == 2
+
+    @settings(max_examples=3, deadline=None)
+    @given(sizes=st.lists(st.sampled_from([4, 16, 256, 4096]),
+                          min_size=1, max_size=3, unique=True),
+           iters=st.integers(min_value=2, max_value=4))
+    def test_parallel_identical_to_serial(self, sizes, iters):
+        """jobs=2 must be a pure optimization: same bytes as serial."""
+        specs = [
+            RunSpec.microbench("latency", "infiniband",
+                               sizes=tuple(sorted(sizes)), iters=iters),
+            RunSpec.microbench("bandwidth", "myrinet",
+                               sizes=tuple(sorted(sizes)), window=4, rounds=3),
+            tiny_app_spec(),
+        ]
+        serial = SweepExecutor(jobs=1, cache=None).run(specs)
+        parallel = SweepExecutor(jobs=2, cache=None).run(specs)
+        assert json.dumps(serial, sort_keys=True) == \
+            json.dumps(parallel, sort_keys=True)
+
+    def test_unknown_bench_raises(self):
+        with pytest.raises(KeyError, match="unknown microbench"):
+            execute_spec(RunSpec(kind="microbench", target="warp_speed"))
+
+
+# ----------------------------------------------------------------------
+# process-wide runtime + driver integration
+# ----------------------------------------------------------------------
+class TestRuntimeIntegration:
+    def test_figure_rerun_performs_zero_new_simulations(self):
+        from repro.experiments.figures import run_figure
+
+        run_figure("fig13", quick=True)
+        stats = runtime.cache_stats()
+        misses = stats.misses
+        assert misses > 0
+        second = run_figure("fig13", quick=True)
+        assert runtime.cache_stats().misses == misses
+        assert second.render()  # still renders from cached payloads
+
+    def test_run_app_roundtrips_recorder_through_cache(self):
+        from repro.apps import run_app
+
+        first = run_app("is", "S", "infiniband", 2, sample_iters=2)
+        again = run_app("is", "S", "infiniband", 2, sample_iters=2)
+        assert runtime.cache_stats().hits >= 1
+        assert again.elapsed_s == first.elapsed_s
+        assert again.recorder is not first.recorder  # fresh rehydration
+        assert again.recorder.ncalls == first.recorder.ncalls
+        assert again.recorder.total_volume == first.recorder.total_volume
+
+    def test_configure_no_cache_resimulates(self):
+        runtime.configure(enabled=False)
+        assert runtime.get_cache() is None
+        series = runtime.run_spec(tiny_bench_spec())
+        assert series["bench"] == "latency"
+        assert runtime.cache_stats().lookups == 0
