@@ -11,6 +11,9 @@ Usage::
     python -m repro fig2 --full          # full (slow) sweep instead of quick
     python -m repro report --jobs 4      # fan simulations out over 4 workers
     python -m repro tab2 --cache-dir .repro_cache   # persist results on disk
+    python -m repro trace fig1 --out trace.json     # Perfetto trace export
+    python -m repro trace is.S --network myrinet    # trace one app kernel
+    python -m repro fig1 --metrics       # per-run counters after the artifact
 
 Installed as the ``repro`` console script as well.
 """
@@ -46,19 +49,66 @@ def _cmd_profile(spec: str, nprocs: int, network: str) -> int:
     return 0
 
 
+def _cmd_trace(ns) -> int:
+    """``repro trace <target>``: run fully-traced and export Perfetto JSON."""
+    from repro.profiling.trace_export import (category_summary, critical_path,
+                                              traced_app, traced_pingpong,
+                                              write_chrome_trace)
+
+    target = ns.args[0] if ns.args else "pingpong"
+    cats = None
+    if ns.categories:
+        cats = [c.strip() for c in ns.categories.split(",") if c.strip()]
+    tracers = {}
+    cp_networks = []
+    if "." in target:  # app.class kernel trace
+        app, klass = target.split(".", 1)
+        res, tracer = traced_app(app, klass, ns.network, nprocs=4,
+                                 categories=cats)
+        tracers[f"{target}:{ns.network}"] = tracer
+        runtime.metrics().merge(res.metrics or {})
+        cp_networks = [ns.network]
+    elif target in ("pingpong", "pt2pt"):
+        res, tracer = traced_pingpong(ns.network, nbytes=ns.size,
+                                      categories=cats)
+        tracers[ns.network] = tracer
+        runtime.metrics().merge(res.metrics)
+        cp_networks = [ns.network]
+    else:  # figN / tableN / latency: traced pingpong on all three fabrics
+        for net in ("infiniband", "myrinet", "quadrics"):
+            res, tracer = traced_pingpong(net, nbytes=ns.size,
+                                          categories=cats)
+            tracers[net] = tracer
+            runtime.metrics().merge(res.metrics)
+        cp_networks = ["infiniband", "myrinet", "quadrics"]
+    nev = write_chrome_trace(ns.out, tracers)
+    print(f"wrote {nev} trace events to {ns.out} "
+          "(load in https://ui.perfetto.dev)")
+    for label, tracer in sorted(tracers.items()):
+        print(f"\n[{label}]")
+        print(category_summary(tracer))
+    if cats is None or ("hw" in cats and "net" in cats):
+        for net in cp_networks:
+            print()
+            print(critical_path(net, nbytes=ns.size).render())
+    return 0
+
+
 def main(argv=None) -> int:
     """Parse arguments and dispatch to the requested artifact."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate artifacts from Liu et al. (SC'03) in simulation.")
     parser.add_argument("target", help="figN | tableN | calibration | loggp | "
-                                       "sensitivity | profile | list")
+                                       "sensitivity | profile | trace | list")
     parser.add_argument("args", nargs="*", help="extra arguments (profile: "
-                                                "app.class nprocs)")
+                                                "app.class nprocs; trace: "
+                                                "pingpong | figN | app.class)")
     parser.add_argument("--full", action="store_true",
                         help="full sweeps instead of the quick defaults")
     parser.add_argument("--network", default="infiniband",
-                        help="network for 'profile' (default: infiniband)")
+                        help="network for 'profile'/'trace' "
+                             "(default: infiniband)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run independent simulations on N worker "
                              "processes (default: 1 = serial)")
@@ -68,14 +118,36 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="also persist results as JSON under DIR "
                              "(convention: .repro_cache)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the aggregated per-run metrics registry "
+                             "after the artifact")
+    parser.add_argument("--out", default="trace.json", metavar="FILE",
+                        help="trace: output JSON path (default: trace.json)")
+    parser.add_argument("--size", type=int, default=4, metavar="BYTES",
+                        help="trace: message size in bytes (default: 4)")
+    parser.add_argument("--categories", default=None, metavar="C1,C2",
+                        help="trace: only these categories "
+                             "(engine,hw,net,proto,mpi; default: all)")
     ns = parser.parse_args(argv)
 
     runtime.configure(jobs=ns.jobs, enabled=not ns.no_cache,
                       disk_dir=ns.cache_dir)
 
+    rc = _dispatch(ns, parser)
+    if ns.target.lower() != "list":
+        if ns.metrics:
+            print()
+            print(runtime.metrics().summary(title="run metrics"))
+        print(f"[cache] {runtime.cache_stats()}")
+    return rc
+
+
+def _dispatch(ns, parser) -> int:
     t = ns.target.lower()
     if t == "list":
         return _cmd_list()
+    if t == "trace":
+        return _cmd_trace(ns)
     if t == "calibration":
         from repro.experiments.calibration import calibration_report
 

@@ -53,6 +53,8 @@ class AppResult:
     total_iters: int
     verified: Optional[bool]
     recorder: Optional[Recorder]
+    #: serialized MetricsRegistry (counters/gauges/histograms) of the run
+    metrics: Optional[dict] = None
 
     def __str__(self) -> str:  # pragma: no cover
         v = "" if self.verified is None else f" verified={self.verified}"
@@ -60,7 +62,7 @@ class AppResult:
                 f"{self.elapsed_s:.2f}s{v}")
 
 
-def simulate_app_spec(spec: RunSpec) -> dict:
+def simulate_app_spec(spec: RunSpec, tracer=None) -> dict:
     """Execute one app RunSpec on a fresh world; return the plain payload.
 
     This is the simulation core behind ``run_app``, invoked by the
@@ -99,7 +101,8 @@ def simulate_app_spec(spec: RunSpec) -> dict:
     world = MPIWorld(spec.nprocs, network=spec.network, ppn=spec.ppn,
                      mapping=spec.mapping, record=spec.record,
                      net_overrides=spec.merged_net_overrides(),
-                     mpi_options=thaw_mapping(spec.mpi_options) or None)
+                     mpi_options=thaw_mapping(spec.mpi_options) or None,
+                     tracer=tracer)
     res = world.run(rank_fn)
     loop_us = marks["t_loop_end"] - marks["t_loop_start"]
     setup_us = marks["t_loop_start"]
@@ -115,6 +118,7 @@ def simulate_app_spec(spec: RunSpec) -> dict:
         "elapsed_s": elapsed_us / 1e6, "sim_iters": nsim,
         "total_iters": cfg.niters, "verified": verified,
         "recorder": res.recorder.to_dict() if res.recorder is not None else None,
+        "metrics": res.metrics.to_dict() if res.metrics is not None else None,
     }
 
 
@@ -127,6 +131,7 @@ def app_result_from_payload(payload: dict) -> AppResult:
         elapsed_s=payload["elapsed_s"], sim_iters=payload["sim_iters"],
         total_iters=payload["total_iters"], verified=payload["verified"],
         recorder=Recorder.from_dict(rec) if rec is not None else None,
+        metrics=payload.get("metrics"),
     )
 
 

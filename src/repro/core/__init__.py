@@ -17,7 +17,9 @@ identical event orders and therefore identical simulated timings.
 """
 
 from repro.core.engine import Simulator, SimulationError, Event, Timeout
+from repro.core.metrics import MetricsRegistry
 from repro.core.process import Process, ProcessKilled
+from repro.core.tracing import TRACE_CATEGORIES, TraceRecord, Tracer
 from repro.core.resources import (
     AllOf,
     AnyOf,
@@ -42,4 +44,8 @@ __all__ = [
     "Condition",
     "AllOf",
     "AnyOf",
+    "Tracer",
+    "TraceRecord",
+    "TRACE_CATEGORIES",
+    "MetricsRegistry",
 ]

@@ -12,6 +12,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.core.metrics import MetricsRegistry
+from repro.core.tracing import Tracer
+
 __all__ = ["Simulator", "Event", "Timeout", "SimulationError"]
 
 
@@ -125,6 +128,11 @@ class Simulator:
         self._running = False
         #: user-attachable context (the MPIWorld stores itself here)
         self.context: dict = {}
+        #: per-run trace collector; off by default — hot paths guard
+        #: every emission with a single ``tracer.enabled`` check
+        self.tracer = Tracer()
+        #: per-run named counters/gauges/histograms
+        self.metrics = MetricsRegistry()
 
     # -- event factories ----------------------------------------------
     def event(self, name: str = "") -> Event:

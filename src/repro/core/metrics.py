@@ -1,0 +1,182 @@
+"""Named counters, gauges and histograms for one simulation run.
+
+A :class:`MetricsRegistry` is attached to every
+:class:`~repro.core.engine.Simulator` and filled from two directions:
+
+- **inline counters** on per-message paths (protocol choice, packets by
+  kind) — a dictionary increment each, cheap enough to stay always-on;
+- **end-of-run snapshots** of hardware counters that the resource models
+  already keep for free (:class:`~repro.core.resources.FifoServer`
+  busy-time, pin-down-cache hits, Elan TLB misses), collected once by
+  :meth:`repro.mpi.world.MPIWorld.run`.
+
+Registries serialize to plain JSON-able dicts so they ride inside
+cached :class:`~repro.runtime.spec.RunSpec` payloads next to the
+:class:`~repro.profiling.recorder.Recorder`, and they merge, so sweep
+drivers can aggregate across runs.
+
+Histogram buckets are powers of two: observation ``v`` lands in bucket
+``2^k`` with ``2^k <= v < 2^(k+1)`` (bucket ``0`` for ``v < 1``) —
+matching the paper's message-size binning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+__all__ = ["MetricsRegistry", "METRIC_NAMES"]
+
+#: documented metric names the built-in instrumentation emits (counters
+#: unless noted); see EXPERIMENTS.md for the full description.
+METRIC_NAMES = (
+    "mpi.msgs.eager", "mpi.msgs.rndv", "mpi.msgs.inline", "mpi.msgs.shmem",
+    "mpi.bytes.eager", "mpi.bytes.rndv", "mpi.bytes.inline", "mpi.bytes.shmem",
+    "mpi.msg_size",                     # histogram
+    "net.pkts.<kind>", "net.bytes.payload", "net.bytes.wire",
+    "net.retransmits",
+    "proto.nic_matches",
+    "reg.cache.hits", "reg.cache.misses", "reg.cache.evicted_pages",
+    "tlb.hits", "tlb.misses",
+    "hw.bus.busy_us", "hw.bus.bytes", "hw.bus.transfers",
+    "hw.nic.tx_busy_us", "hw.nic.rx_busy_us", "hw.nic.mproc_busy_us",
+    "hw.sram.busy_us", "hw.wire.busy_us", "hw.wire.bytes",
+    "hw.switch.busy_us", "hw.switch.bytes",
+    "engine.events", "engine.sim_time_us",  # gauges
+)
+
+
+def _bucket(value: float) -> str:
+    """Power-of-two bucket label for ``value``."""
+    v = int(value)
+    if v < 1:
+        return "0"
+    return f"2^{v.bit_length() - 1}"
+
+
+class MetricsRegistry:
+    """Counters / gauges / power-of-two histograms for one run."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, dict] = {}
+
+    # -- recording ------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        h = self.histograms.get(name)
+        if h is None:
+            h = {"count": 0, "sum": 0.0, "min": float(value),
+                 "max": float(value), "buckets": {}}
+            self.histograms[name] = h
+        h["count"] += 1
+        h["sum"] += value
+        if value < h["min"]:
+            h["min"] = float(value)
+        if value > h["max"]:
+            h["max"] = float(value)
+        b = _bucket(value)
+        h["buckets"][b] = h["buckets"].get(b, 0) + 1
+
+    # -- access ---------------------------------------------------------
+    def counter(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def __len__(self) -> int:
+        return len(self.counters) + len(self.gauges) + len(self.histograms)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form (rides in cached payloads); inverse of
+        :meth:`from_dict`."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {"count": h["count"], "sum": h["sum"], "min": h["min"],
+                       "max": h["max"], "buckets": dict(h["buckets"])}
+                for name, h in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        reg = cls()
+        reg.counters.update(data.get("counters", {}))
+        reg.gauges.update(data.get("gauges", {}))
+        for name, h in data.get("histograms", {}).items():
+            reg.histograms[name] = {
+                "count": h["count"], "sum": h["sum"], "min": h["min"],
+                "max": h["max"], "buckets": dict(h["buckets"]),
+            }
+        return reg
+
+    def merge(self, other: Union["MetricsRegistry", dict]) -> "MetricsRegistry":
+        """Fold another registry (or its dict form) into this one.
+
+        Counters and histograms add; gauges take the incoming value
+        (last writer wins — they describe one run, not a sum).
+        """
+        data = other.to_dict() if isinstance(other, MetricsRegistry) else other
+        for name, v in data.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0.0) + v
+        self.gauges.update(data.get("gauges", {}))
+        for name, h in data.get("histograms", {}).items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = {
+                    "count": h["count"], "sum": h["sum"], "min": h["min"],
+                    "max": h["max"], "buckets": dict(h["buckets"]),
+                }
+                continue
+            mine["count"] += h["count"]
+            mine["sum"] += h["sum"]
+            mine["min"] = min(mine["min"], h["min"])
+            mine["max"] = max(mine["max"], h["max"])
+            for b, n in h["buckets"].items():
+                mine["buckets"][b] = mine["buckets"].get(b, 0) + n
+        return self
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    # -- rendering ------------------------------------------------------
+    def summary(self, title: Optional[str] = None) -> str:
+        """Aligned plain-text dump of everything recorded."""
+        lines = []
+        if title:
+            lines.append(title)
+        if not self:
+            lines.append("  (no metrics recorded)")
+            return "\n".join(lines)
+        for name in sorted(self.counters):
+            v = self.counters[name]
+            shown = f"{int(v)}" if float(v).is_integer() else f"{v:.3f}"
+            lines.append(f"  {name:<28} {shown:>14}")
+        for name in sorted(self.gauges):
+            lines.append(f"  {name:<28} {self.gauges[name]:>14.3f}  (gauge)")
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            avg = h["sum"] / h["count"] if h["count"] else 0.0
+            lines.append(f"  {name:<28} n={h['count']} avg={avg:.1f} "
+                         f"min={h['min']:.0f} max={h['max']:.0f}")
+            buckets = sorted(h["buckets"].items(),
+                             key=lambda kv: -1 if kv[0] == "0" else int(kv[0][2:]))
+            lines.append("    " + "  ".join(f"{b}:{n}" for b, n in buckets))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<MetricsRegistry counters={len(self.counters)} "
+                f"gauges={len(self.gauges)} histograms={len(self.histograms)}>")

@@ -38,6 +38,9 @@ class Process(Event):
         # Kick off on an immediate timeout so creation order == start order.
         boot = sim.timeout(0.0)
         boot.add_callback(self._resume)
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.begin(sim.now, "engine", name, f"proc {name}")
 
     # -- lifecycle ----------------------------------------------------
     @property
@@ -65,6 +68,10 @@ class Process(Event):
 
     def _finish(self, exc: Optional[BaseException], value: Any, killed: bool = False) -> None:
         self._alive = False
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            outcome = "killed" if killed else ("failed" if exc is not None else "done")
+            tracer.end(self.sim.now, "engine", self.name, f"proc {self.name} [{outcome}]")
         if self.triggered:
             return
         if exc is not None:

@@ -138,11 +138,40 @@ class PipelinePath:
         states, updated in place.  Returns the max tail observed at
         ``local_stage`` (or 0.0 if that stage is outside the range).
         """
+        tracer = self.sim.tracer
+        if tracer.enabled and tracer.wants("hw"):
+            return self._walk_range_traced(s_from, s_to, entries, local_stage, tracer)
         local_max = 0.0
         for entry in entries:
             head, tail, csize, first = entry
             for s in range(s_from, s_to):
                 head, tail = self.stages[s].serve(head, tail, csize, first)
+                if local_stage is not None and s == local_stage and tail > local_max:
+                    local_max = tail
+            entry[0] = head
+            entry[1] = tail
+        return local_max
+
+    def _walk_range_traced(self, s_from: int, s_to: int, entries: List[list],
+                           local_stage: Optional[int], tracer) -> float:
+        """:meth:`walk_range` plus one ``hw`` span per (chunk, stage)."""
+        local_max = 0.0
+        stages = self.stages
+        for entry in entries:
+            head, tail, csize, first = entry
+            for s in range(s_from, s_to):
+                stage = stages[s]
+                head_in, tail_in = head, tail
+                head, tail = stage.serve(head, tail, csize, first)
+                sname = stage.name or f"s{s}"
+                tracer.emit(
+                    head_in, "hw", f"{self.name}:{s}:{sname}",
+                    f"{sname} {int(csize)}B", kind="X",
+                    dur_us=max(tail - head_in, 0.0),
+                    data={"path": self.name, "stage": s, "stage_name": sname,
+                          "head_in": head_in, "tail_in": tail_in,
+                          "head_out": head, "tail_out": tail, "nbytes": csize},
+                )
                 if local_stage is not None and s == local_stage and tail > local_max:
                     local_max = tail
             entry[0] = head
@@ -166,13 +195,27 @@ class PipelinePath:
         sizes = chunk_sizes(nbytes, self.chunk_bytes)
         self.messages += 1
         self.bytes_moved += nbytes
+        tracer = self.sim.tracer
+        traced = tracer.enabled and tracer.wants("hw")
         delivered = t0
         local_done = t0
         for i, csize in enumerate(sizes):
             first = charge_first_extra and i == 0
             head = tail = t0
             for s, stage in enumerate(self.stages):
+                if traced:
+                    head_in, tail_in = head, tail
                 head, tail = stage.serve(head, tail, csize, first)
+                if traced:
+                    sname = stage.name or f"s{s}"
+                    tracer.emit(
+                        head_in, "hw", f"{self.name}:{s}:{sname}",
+                        f"{sname} {int(csize)}B", kind="X",
+                        dur_us=max(tail - head_in, 0.0),
+                        data={"path": self.name, "stage": s, "stage_name": sname,
+                              "head_in": head_in, "tail_in": tail_in,
+                              "head_out": head, "tail_out": tail, "nbytes": csize},
+                    )
                 if local_stage is not None and s == local_stage:
                     local_done = max(local_done, tail)
             delivered = max(delivered, tail)

@@ -386,6 +386,11 @@ class Communicator:
 
     def _rec(self, func: str, peer: int, nbytes: int, addr: int, t0: float,
              blocking: bool) -> None:
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(t0, "mpi", f"rank{self.ep.rank}", func, kind="X",
+                        dur_us=max(self.sim.now - t0, 0.0),
+                        data={"peer": peer, "nbytes": nbytes})
         rec = self.ep.recorder
         if rec is None:
             return
@@ -397,12 +402,18 @@ class Communicator:
 
     def _run_coll(self, name: str, nbytes: int, addr: int, gen):
         rec = self.ep.recorder
+        tracer = self.sim.tracer
         t0 = self.sim.now
+        if tracer.enabled:
+            tracer.begin(t0, "mpi", f"rank{self.ep.rank}", name,
+                         data={"nbytes": nbytes, "ctx": self.ctx})
         if rec is not None:
             rec.enter_collective(self.ep.rank)
         try:
             yield from gen
         finally:
+            if tracer.enabled:
+                tracer.end(self.sim.now, "mpi", f"rank{self.ep.rank}", name)
             if rec is not None:
                 rec.exit_collective(self.ep.rank)
                 rec.record_call(self.ep.rank, name, -1, nbytes, addr, t0, self.sim.now,

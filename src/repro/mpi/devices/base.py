@@ -76,8 +76,27 @@ class MpiDevice:
     def _record_transfer(self, peer: int, nbytes: int) -> None:
         if self.recorder is not None:
             self.recorder.record_transfer(
-                self.rank, peer, nbytes, intra=self.fabric.same_node(self.rank, peer)
+                self.rank, peer, nbytes,
+                intra=self.fabric.same_node(self.rank, peer),
+                time=self.sim.now,
             )
+
+    def _count_msg(self, proto: str, req: Request) -> None:
+        """Account one outgoing message under its wire protocol.
+
+        ``proto`` is one of ``eager``/``rndv``/``inline``/``shmem``; also
+        emits the protocol-choice trace instant when tracing is on.
+        """
+        m = self.sim.metrics
+        m.inc("mpi.msgs." + proto)
+        m.inc("mpi.bytes." + proto, req.nbytes)
+        m.observe("mpi.msg_size", req.nbytes)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(self.sim.now, "mpi", f"rank{self.rank}",
+                           f"{proto} {req.nbytes}B -> r{req.peer}",
+                           data={"proto": proto, "nbytes": req.nbytes,
+                                 "peer": req.peer, "tag": req.tag})
 
     def _recv_status(self, src: int, tag: int, nbytes: int) -> Status:
         return Status(source=src, tag=tag, nbytes=nbytes)

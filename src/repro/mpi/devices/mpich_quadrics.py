@@ -80,8 +80,13 @@ class MpichQuadricsDevice(MpiDevice):
             yield tp.tx_slot_gate.wait()
         cost = self.O_SEND
         if req.nbytes <= self.params.inline_bytes:
+            self._count_msg("inline", req)
             # host PIO-copies the payload into the command port
             cost += cpu.memcpy.copy_time(req.nbytes)
+        elif req.nbytes <= self.params.eager_bytes:
+            self._count_msg("eager", req)
+        else:
+            self._count_msg("rndv", req)
         yield cpu.comm(cost)
         yield from self._mmu_update(req.buf)
         self._record_transfer(req.peer, req.nbytes)

@@ -137,8 +137,10 @@ class MvapichDevice(ShmemMixin, HostProgressDevice):
         self._record_transfer(req.peer, req.nbytes)
         seq = self._next_seq(req.peer, req.ctx)
         if req.nbytes < self.eager_limit:
+            self._count_msg("eager", req)
             yield from self._eager_isend(req, seq)
         else:
+            self._count_msg("rndv", req)
             yield from self._rndv_isend(req, seq)
 
     def _eager_isend(self, req: Request, seq: int = 0):

@@ -63,6 +63,7 @@ class ShmemMixin:
     def _shmem_isend(self, req: Request):
         """Send ``req`` through shared memory (same-node peer)."""
         cpu = self.cpu
+        self._count_msg("shmem", req)
         yield cpu.comm(self.O_SHM_SEND)
         # copy into the shared segment (streaming, cache-thrash aware)
         yield cpu.comm(cpu.memcpy.shmem_copy_time(req.nbytes))

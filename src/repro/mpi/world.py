@@ -26,7 +26,9 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.engine import Simulator
+from repro.core.metrics import MetricsRegistry
 from repro.core.resources import AllOf
+from repro.core.tracing import Tracer
 from repro.hardware.cluster import Cluster
 from repro.hardware.cpu import MemcpyModel
 from repro.hardware.memory import AddressSpace
@@ -46,6 +48,7 @@ class WorldResult:
     returns: List[Any]
     recorder: Optional[Recorder]
     world: "MPIWorld"
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def elapsed_s(self) -> float:
@@ -66,6 +69,7 @@ class MPIWorld:
         mpi_options: Optional[dict] = None,
         mapping: str = "block",
         memcpy: Optional[MemcpyModel] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``mpi_options`` are forwarded to the MPI device (e.g.
         ``{"on_demand_connections": True}`` or ``{"rdma_collectives":
@@ -84,6 +88,8 @@ class MPIWorld:
         self.mapping = mapping
         self.mpi_options = dict(mpi_options or {})
         self.sim = Simulator()
+        if tracer is not None:
+            self.sim.tracer = tracer
         if nnodes is None:
             nnodes = math.ceil(nprocs / ppn)
         self.nnodes = nnodes
@@ -164,8 +170,52 @@ class MPIWorld:
         ]
         done = AllOf(self.sim, procs)
         returns = self.sim.run(until_event=done, until=until)
+        self._finalize_metrics()
         return WorldResult(elapsed_us=self.sim.now, returns=returns,
-                           recorder=self.recorder, world=self)
+                           recorder=self.recorder, world=self,
+                           metrics=self.sim.metrics)
+
+    def _finalize_metrics(self) -> None:
+        """Snapshot hardware occupancy counters into the metrics registry.
+
+        The FifoServers already track busy time / bytes for free; this
+        folds them into named metrics once at end of run instead of
+        instrumenting the hot transfer paths.
+        """
+        m = self.sim.metrics
+        m.set_gauge("engine.events", float(self.sim.events_processed))
+        m.set_gauge("engine.sim_time_us", self.sim.now)
+        for node in self.cluster.nodes:
+            for bus in node._buses.values():
+                srv = bus.server
+                m.inc("hw.bus.busy_us", srv.busy_time)
+                m.inc("hw.bus.bytes", srv.bytes_moved)
+                m.inc("hw.bus.transfers", srv.transfers)
+        fabric = self.fabric
+        nics = getattr(fabric, "hcas", None) or getattr(fabric, "nics", None) or {}
+        for nic in nics.values():
+            m.inc("hw.nic.tx_busy_us", nic.tx_engine.busy_time)
+            m.inc("hw.nic.rx_busy_us", nic.rx_engine.busy_time)
+            m.inc("hw.nic.mproc_busy_us", nic.mproc.busy_time)
+            m.inc("hw.wire.busy_us", nic.uplink.busy_time)
+            m.inc("hw.wire.bytes", nic.uplink.bytes_moved)
+        for sram in (getattr(fabric, "srams", None) or {}).values():
+            m.inc("hw.sram.busy_us", sram.busy_time)
+        switch = getattr(fabric, "switch", None)
+        if switch is not None:
+            for port in switch._out_ports.values():
+                m.inc("hw.switch.busy_us", port.busy_time)
+                m.inc("hw.switch.bytes", port.bytes_moved)
+        for pc in (getattr(fabric, "pin_caches", None) or {}).values():
+            m.inc("reg.cache.hits", pc.hits)
+            m.inc("reg.cache.misses", pc.misses)
+            m.inc("reg.cache.evicted_pages", pc.evicted_pages)
+        for tlb in (getattr(fabric, "tlbs", None) or {}).values():
+            m.inc("tlb.hits", tlb.hits)
+            m.inc("tlb.misses", tlb.misses)
+        # all three modelled fabrics are reliable in hardware; the
+        # counter exists so dashboards need not special-case it
+        m.inc("net.retransmits", 0)
 
     @staticmethod
     def _wrap(fn, comm, args, kwargs):

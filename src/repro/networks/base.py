@@ -176,9 +176,15 @@ class Fabric:
         wire_bytes = pkt.nbytes + self.header_bytes + extra_wire_bytes
         path, local_stage = self._select_path(pkt, wire_bytes, src_node, dst_node)
 
+        metrics = self.sim.metrics
+        metrics.inc("net.pkts." + pkt.kind)
+        metrics.inc("net.bytes.payload", pkt.nbytes)
+        metrics.inc("net.bytes.wire", wire_bytes)
+
         local_ev = self.sim.event(f"{self.kind}.local_done")
         port = self.ports[pkt.dst_rank]
         job = _SendJob(pkt, path, wire_bytes, local_stage, local_ev, port)
+        job.t_submit = self.sim.now
         self._injector(src_node).submit(job)
         return local_ev
 
@@ -203,7 +209,7 @@ class _SendJob:
 
     __slots__ = ("pkt", "path", "wire_bytes", "local_stage", "local_ev",
                  "port", "offset", "local_done", "delivered",
-                 "pending_groups", "injected_all")
+                 "pending_groups", "injected_all", "t_submit")
 
     def __init__(self, pkt: Packet, path: PipelinePath, wire_bytes: int,
                  local_stage, local_ev: Event, port: NetPort) -> None:
@@ -218,6 +224,7 @@ class _SendJob:
         self.delivered = 0.0
         self.pending_groups = 0
         self.injected_all = False
+        self.t_submit = 0.0
 
     @property
     def src_phase_end(self) -> int:
@@ -333,6 +340,19 @@ class _Injector:
         if job.port is None:
             return
         port, job.port = job.port, None  # deliver exactly once
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            pkt = job.pkt
+            tracer.emit(
+                job.t_submit, "net", job.path.name,
+                f"{pkt.kind} {pkt.nbytes}B r{pkt.src_rank}->r{pkt.dst_rank}",
+                kind="X", dur_us=max(job.delivered - job.t_submit, 0.0),
+                data={"kind": pkt.kind, "src": pkt.src_rank, "dst": pkt.dst_rank,
+                      "nbytes": pkt.nbytes, "wire_bytes": job.wire_bytes,
+                      "seq": pkt.seq, "path": job.path.name,
+                      "submit": job.t_submit, "local_done": job.local_done,
+                      "delivered": job.delivered},
+            )
         deliver_ev = self.sim.event("deliver")
         deliver_ev.add_callback(lambda _e: port.deliver(job.pkt))
         deliver_ev.succeed(delay=max(0.0, job.delivered - self.sim.now))

@@ -53,6 +53,12 @@ class CompletionQueue:
 
     def push(self, wc: WorkCompletion) -> None:
         self._entries.append(wc)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(self.sim.now, "proto", self.name,
+                           f"cqe {wc.opcode} {wc.nbytes}B",
+                           data={"opcode": wc.opcode, "nbytes": wc.nbytes,
+                                 "wr_id": wc.wr_id, "src_rank": wc.src_rank})
         self.gate.pulse()
 
     def poll(self, max_entries: int = 16) -> List[WorkCompletion]:
@@ -94,6 +100,10 @@ class QueuePair:
         """
         self.sends_posted += 1
         dev = self.device
+        tracer = dev.sim.tracer
+        if tracer.enabled:
+            tracer.instant(dev.sim.now, "proto", f"ib.qp[{dev.rank}->{self.peer_rank}]",
+                           f"post_send {buf.nbytes}B", data={"wr_id": wr_id})
         pkt = Packet(
             kind="ib.send",
             src_rank=dev.rank,
@@ -120,6 +130,10 @@ class QueuePair:
             raise RegistrationError(
                 f"RDMA read of {remote_buf.nbytes} B into {local_buf.nbytes} B buffer")
         dev = self.device
+        tracer = dev.sim.tracer
+        if tracer.enabled:
+            tracer.instant(dev.sim.now, "proto", f"ib.qp[{dev.rank}->{self.peer_rank}]",
+                           f"rdma_read {remote_buf.nbytes}B", data={"wr_id": wr_id})
         done = dev.sim.event("ib.read_done")
         req_pkt = Packet(
             kind="ib.read_req", src_rank=dev.rank, dst_rank=self.peer_rank,
@@ -151,6 +165,11 @@ class QueuePair:
                 f"RDMA write of {local_buf.nbytes} B into {remote_buf.nbytes} B region"
             )
         dev = self.device
+        tracer = dev.sim.tracer
+        if tracer.enabled:
+            tracer.instant(dev.sim.now, "proto", f"ib.qp[{dev.rank}->{self.peer_rank}]",
+                           f"rdma_write {local_buf.nbytes}B",
+                           data={"wr_id": wr_id, "imm": imm_data})
         m = {"wr_id": wr_id, "remote_buf": remote_buf, "imm": imm_data}
         if meta:
             m.update(meta)

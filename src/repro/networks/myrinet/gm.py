@@ -101,6 +101,12 @@ class GmPort:
         if self._inflight_sends >= self.send_tokens:
             raise GmTokenError(f"rank {self.rank}: out of GM send tokens")
         self._inflight_sends += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(self.sim.now, "proto", f"gm.port[{self.rank}]",
+                           f"send {buf.nbytes}B -> r{dst_rank}",
+                           data={"tag": tag, "inflight": self._inflight_sends,
+                                 "tokens": self.send_tokens})
         pkt = Packet(
             kind="gm.send",
             src_rank=self.rank,
@@ -122,6 +128,12 @@ class GmPort:
                 f"directed send of {buf.nbytes} B into {remote_buf.nbytes} B target"
             )
         self._inflight_sends += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(self.sim.now, "proto", f"gm.port[{self.rank}]",
+                           f"directed_send {buf.nbytes}B -> r{dst_rank}",
+                           data={"inflight": self._inflight_sends,
+                                 "tokens": self.send_tokens})
         pkt = Packet(
             kind="gm.directed",
             src_rank=self.rank,
@@ -163,6 +175,12 @@ class GmPort:
                     "receive buffer of that class"
                 )
             buf = queue.popleft()
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.instant(self.sim.now, "proto", f"gm.port[{self.rank}]",
+                               f"nic_accept {pkt.nbytes}B class={klass}",
+                               data={"src": pkt.src_rank, "size_class": klass,
+                                     "remaining": len(queue)})
             if pkt.payload is not None and buf.data is not None:
                 dst = buf.data.reshape(-1).view(np.uint8)
                 n = min(len(pkt.payload), dst.shape[0])

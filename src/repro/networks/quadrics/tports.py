@@ -180,6 +180,14 @@ class TportsPort:
         fabric = self.fabric
         mproc = fabric.nic(fabric.node_of(self.rank)).mproc
         match_cost = p.match_base_us + p.match_per_posted_us * len(self.posted)
+        self.sim.metrics.inc("proto.nic_matches")
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(self.sim.now, "proto", f"tp[{self.rank}]",
+                           f"nic_match {pkt.kind} posted={len(self.posted)}",
+                           data={"kind": pkt.kind, "src": pkt.src_rank,
+                                 "posted": len(self.posted),
+                                 "match_cost_us": match_cost})
         ev = mproc.transfer(0, overhead=match_cost)
         ev.add_callback(lambda _ev: self._nic_process(pkt))
 

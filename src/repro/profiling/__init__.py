@@ -16,6 +16,15 @@ This package is that instrument:
 """
 
 from repro.profiling.recorder import CallRecord, Recorder, TransferRecord
+from repro.profiling.trace_export import (
+    CriticalPath,
+    category_summary,
+    chrome_trace,
+    critical_path,
+    traced_app,
+    traced_pingpong,
+    write_chrome_trace,
+)
 from repro.profiling.stats import (
     buffer_reuse_rate,
     collective_stats,
@@ -35,4 +44,11 @@ __all__ = [
     "buffer_reuse_rate",
     "collective_stats",
     "intranode_stats",
+    "chrome_trace",
+    "write_chrome_trace",
+    "category_summary",
+    "CriticalPath",
+    "critical_path",
+    "traced_pingpong",
+    "traced_app",
 ]

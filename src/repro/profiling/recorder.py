@@ -84,11 +84,12 @@ class Recorder:
         self.calls.append(CallRecord(rank, func, peer, nbytes, buf_addr,
                                      t_start, t_end, blocking, collective, intra))
 
-    def record_transfer(self, rank: int, peer: int, nbytes: int, intra: bool) -> None:
+    def record_transfer(self, rank: int, peer: int, nbytes: int, intra: bool,
+                        time: float = 0.0) -> None:
         if not self.enabled:
             return
         self.transfers.append(TransferRecord(
-            rank, peer, nbytes, intra, self.in_collective(rank), 0.0
+            rank, peer, nbytes, intra, self.in_collective(rank), time
         ))
 
     # -- serialization ---------------------------------------------------------

@@ -30,6 +30,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
+from repro.core.metrics import MetricsRegistry
 from repro.runtime.cache import (DEFAULT_CACHE_DIR, CacheStats, ResultCache,
                                  code_salt)
 from repro.runtime.executor import SweepExecutor, execute_spec
@@ -39,13 +40,13 @@ from repro.runtime.spec import (SPEC_SCHEMA_VERSION, RunSpec, freeze_mapping,
 __all__ = [
     "RunSpec", "ResultCache", "CacheStats", "SweepExecutor",
     "execute_spec", "configure", "reset", "run_spec", "run_specs",
-    "get_cache", "get_executor", "cache_stats",
+    "get_cache", "get_executor", "cache_stats", "metrics",
     "DEFAULT_CACHE_DIR", "SPEC_SCHEMA_VERSION", "code_salt",
     "freeze_mapping", "thaw_mapping",
 ]
 
 #: process-wide runtime state; adjusted via configure()/reset()
-_state = {"jobs": 1, "cache": ResultCache()}
+_state = {"jobs": 1, "cache": ResultCache(), "metrics": MetricsRegistry()}
 
 
 def configure(jobs: Optional[int] = None, enabled: Optional[bool] = None,
@@ -75,6 +76,7 @@ def reset(jobs: int = 1, enabled: bool = True,
     """Fresh runtime state (empty cache, zeroed stats) — used by tests."""
     _state["jobs"] = max(1, int(jobs))
     _state["cache"] = ResultCache(disk_dir=disk_dir) if enabled else None
+    _state["metrics"] = MetricsRegistry()
 
 
 def get_cache() -> Optional[ResultCache]:
@@ -84,7 +86,13 @@ def get_cache() -> Optional[ResultCache]:
 
 def get_executor() -> SweepExecutor:
     """An executor bound to the current jobs/cache configuration."""
-    return SweepExecutor(jobs=_state["jobs"], cache=_state["cache"])
+    return SweepExecutor(jobs=_state["jobs"], cache=_state["cache"],
+                         metrics=_state["metrics"])
+
+
+def metrics() -> MetricsRegistry:
+    """Process-wide aggregate of metrics from every resolved app run."""
+    return _state["metrics"]
 
 
 def run_specs(specs: Sequence[RunSpec]) -> List[dict]:

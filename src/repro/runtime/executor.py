@@ -14,6 +14,7 @@ import inspect
 import multiprocessing
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.metrics import MetricsRegistry
 from repro.runtime.cache import ResultCache
 from repro.runtime.spec import KIND_APP, KIND_MICROBENCH, RunSpec, thaw_mapping
 
@@ -71,9 +72,14 @@ class SweepExecutor:
     deterministic — parallel payloads are identical to serial ones.
     """
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None) -> None:
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        #: aggregate of the per-run metrics of every unique payload this
+        #: executor resolved (cache hits included — the metrics describe
+        #: the simulated run, however it was obtained)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     def run(self, specs: Sequence[RunSpec]) -> List[dict]:
         specs = list(specs)
@@ -95,6 +101,10 @@ class SweepExecutor:
                 resolved[spec.digest] = payload
                 if self.cache is not None:
                     self.cache.store(spec, payload)
+        for payload in resolved.values():
+            m = payload.get("metrics")
+            if m:
+                self.metrics.merge(m)
         return [resolved[spec.digest] for spec in specs]
 
     def run_one(self, spec: RunSpec) -> dict:
