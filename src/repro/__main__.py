@@ -14,6 +14,9 @@ Usage::
     python -m repro trace fig1 --out trace.json     # Perfetto trace export
     python -m repro trace is.S --network myrinet    # trace one app kernel
     python -m repro fig1 --metrics       # per-run counters after the artifact
+    python -m repro matrix               # what-if fabric x rendezvous matrix
+    python -m repro bench latency --network infiniband \
+        --mpi-option rendezvous=send_recv --eager-limit 1024   # what-if run
 
 Installed as the ``repro`` console script as well.
 """
@@ -33,19 +36,68 @@ def _cmd_list() -> int:
     print("figures: " + " ".join(sorted(FIGURES, key=lambda f: int(f[3:]))))
     print("tables:  " + " ".join(sorted(TABLES)))
     print("apps:    " + " ".join(sorted(PROBLEMS)))
-    print("other:   calibration  loggp  sensitivity  validate  report  profile <app.class> <nprocs>")
+    print("other:   calibration  loggp  sensitivity  validate  report  "
+          "matrix  bench <name>  profile <app.class> <nprocs>")
     return 0
 
 
-def _cmd_profile(spec: str, nprocs: int, network: str) -> int:
+def _coerce_option(value: str):
+    """CLI option values arrive as strings; recover bool/int/float."""
+    low = value.lower()
+    if low in ("true", "yes", "on"):
+        return True
+    if low in ("false", "no", "off"):
+        return False
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            pass
+    return value
+
+
+def parse_mpi_options(ns) -> dict:
+    """``--mpi-option key=val`` pairs plus ``--eager-limit`` as a dict."""
+    options = {}
+    for item in ns.mpi_option or ():
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--mpi-option needs key=val, got {item!r}")
+        options[key] = _coerce_option(value)
+    if ns.eager_limit is not None:
+        options["eager_limit"] = ns.eager_limit
+    return options
+
+
+def _cmd_profile(spec: str, nprocs: int, network: str,
+                 mpi_options=None) -> int:
     from repro.apps import run_app
     from repro.profiling.report import app_profile_report
 
     app, klass = spec.split(".", 1)
-    res = run_app(app, klass, network, nprocs)
+    res = run_app(app, klass, network, nprocs, mpi_options=mpi_options or None)
     print(app_profile_report(f"{spec} on {nprocs} x {network}", res.recorder))
     print(f"\nexecution time: {res.elapsed_s:.2f} s "
           f"({res.sim_iters}/{res.total_iters} iterations simulated)")
+    return 0
+
+
+def _cmd_bench(ns) -> int:
+    """``repro bench <name>``: one registered microbench, what-if knobs on."""
+    from repro.microbench.common import bench_registry, measure
+
+    name = ns.args[0] if ns.args else "latency"
+    if name not in bench_registry():
+        raise SystemExit(f"unknown bench {name!r}; "
+                         f"know {sorted(bench_registry())}")
+    kwargs = {}
+    options = parse_mpi_options(ns)
+    if options:
+        kwargs["mpi_options"] = options
+    series = measure(name, ns.network, **kwargs)
+    label = ns.network + (f" {options}" if options else "")
+    print(f"{name} on {label}")
+    print(series.fmt(yunit="us" if "latency" in name else ""))
     return 0
 
 
@@ -59,25 +111,26 @@ def _cmd_trace(ns) -> int:
     cats = None
     if ns.categories:
         cats = [c.strip() for c in ns.categories.split(",") if c.strip()]
+    options = parse_mpi_options(ns) or None
     tracers = {}
     cp_networks = []
     if "." in target:  # app.class kernel trace
         app, klass = target.split(".", 1)
         res, tracer = traced_app(app, klass, ns.network, nprocs=4,
-                                 categories=cats)
+                                 categories=cats, mpi_options=options)
         tracers[f"{target}:{ns.network}"] = tracer
         runtime.metrics().merge(res.metrics or {})
         cp_networks = [ns.network]
     elif target in ("pingpong", "pt2pt"):
         res, tracer = traced_pingpong(ns.network, nbytes=ns.size,
-                                      categories=cats)
+                                      categories=cats, mpi_options=options)
         tracers[ns.network] = tracer
         runtime.metrics().merge(res.metrics)
         cp_networks = [ns.network]
     else:  # figN / tableN / latency: traced pingpong on all three fabrics
         for net in ("infiniband", "myrinet", "quadrics"):
             res, tracer = traced_pingpong(net, nbytes=ns.size,
-                                          categories=cats)
+                                          categories=cats, mpi_options=options)
             tracers[net] = tracer
             runtime.metrics().merge(res.metrics)
         cp_networks = ["infiniband", "myrinet", "quadrics"]
@@ -100,10 +153,12 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Regenerate artifacts from Liu et al. (SC'03) in simulation.")
     parser.add_argument("target", help="figN | tableN | calibration | loggp | "
-                                       "sensitivity | profile | trace | list")
+                                       "sensitivity | profile | trace | "
+                                       "matrix | bench | list")
     parser.add_argument("args", nargs="*", help="extra arguments (profile: "
                                                 "app.class nprocs; trace: "
-                                                "pingpong | figN | app.class)")
+                                                "pingpong | figN | app.class; "
+                                                "bench: microbench name)")
     parser.add_argument("--full", action="store_true",
                         help="full sweeps instead of the quick defaults")
     parser.add_argument("--network", default="infiniband",
@@ -128,6 +183,15 @@ def main(argv=None) -> int:
     parser.add_argument("--categories", default=None, metavar="C1,C2",
                         help="trace: only these categories "
                              "(engine,hw,net,proto,mpi; default: all)")
+    parser.add_argument("--mpi-option", action="append", default=None,
+                        metavar="KEY=VAL", dest="mpi_option",
+                        help="MPI protocol option (repeatable), e.g. "
+                             "rendezvous=send_recv, use_shmem=false; keyed "
+                             "into the result cache via RunSpec.mpi_options")
+    parser.add_argument("--eager-limit", type=int, default=None,
+                        metavar="BYTES", dest="eager_limit",
+                        help="eager/rendezvous crossover in bytes (shorthand "
+                             "for --mpi-option eager_limit=BYTES)")
     ns = parser.parse_args(argv)
 
     runtime.configure(jobs=ns.jobs, enabled=not ns.no_cache,
@@ -148,6 +212,13 @@ def _dispatch(ns, parser) -> int:
         return _cmd_list()
     if t == "trace":
         return _cmd_trace(ns)
+    if t == "matrix":
+        from repro.mpi.ch.matrix import matrix_report
+
+        print(matrix_report(iters=30 if ns.full else 10))
+        return 0
+    if t == "bench":
+        return _cmd_bench(ns)
     if t == "calibration":
         from repro.experiments.calibration import calibration_report
 
@@ -176,7 +247,8 @@ def _dispatch(ns, parser) -> int:
     if t == "profile":
         if len(ns.args) != 2:
             parser.error("profile needs: <app.class> <nprocs>")
-        return _cmd_profile(ns.args[0], int(ns.args[1]), ns.network)
+        return _cmd_profile(ns.args[0], int(ns.args[1]), ns.network,
+                            mpi_options=parse_mpi_options(ns))
     if t in FIGURES:
         print(run_figure(t, quick=not ns.full).render())
         return 0

@@ -1,0 +1,173 @@
+"""The thin channel interface under the shared protocol core.
+
+A :class:`Channel` is everything fabric-specific about one MPI port:
+how bytes and control messages get onto the wire, what connection setup
+and flow control cost, and the per-operation host prices (the ``O_*``
+constants calibrated against the paper's Figs. 1 & 3).  Everything
+protocol-generic — matching, eager/rendezvous state machines, the
+progress engine, sequence re-establishment, accounting — lives in
+:class:`~repro.mpi.ch.core.Ch3Device` and calls down through this
+interface.
+
+Most hooks are generator coroutines so they can charge host time with
+``yield cpu.comm(...)``; hooks that are pure wire actions are plain
+methods.  The no-op defaults use the ``return``-before-``yield`` idiom
+to stay generators without charging anything.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.mpi.ch.caps import ChannelCaps
+from repro.mpi.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.resources import Gate
+    from repro.mpi.ch.core import Ch3Device
+    from repro.mpi.status import Status
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """Fabric-specific half of one MPI device (one instance per rank)."""
+
+    #: capability declaration; static channels set this as a class attr,
+    #: parameter-dependent ones build an instance in ``_build_caps``
+    CAPS: ChannelCaps = ChannelCaps()
+
+    # -- per-operation host costs (µs); subclasses calibrate ------------
+    O_SEND_POST = 0.0    # descriptor build + doorbell
+    O_RECV_POST = 0.0
+    O_MATCH = 0.0        # envelope match in the progress engine
+    O_RNDV = 0.0         # RTS/CTS handling
+    O_FIN = 0.0          # completion/FIN retirement
+    O_POLL = 0.20        # progress-engine poll that finds work
+    O_SEND_CB = 0.0      # retiring a send-completion callback
+
+    # -- intra-node shared-memory costs (host-progress channels) --------
+    O_SHM_SEND = 0.35
+    O_SHM_RECV = 0.30
+    SHM_LATENCY = 0.15   # flag-write to flag-visible delay
+
+    # -- NIC-progress host costs (library call prices) -------------------
+    O_SEND = 0.0         # tx call (descriptor build, command issue)
+    O_COMPLETE = 0.18    # host-side completion pickup per request
+    O_TEST = 0.10
+    O_PROGRESS = 0.05
+    O_IPROBE = 0.35
+
+    def __init__(self, core: "Ch3Device") -> None:
+        self.core = core
+        self.fabric = core.fabric
+        self.options = core.options
+        self.caps = self._build_caps()
+
+    def _build_caps(self) -> ChannelCaps:
+        return self.CAPS
+
+    # ------------------------------------------------------------------
+    # protocol thresholds
+    # ------------------------------------------------------------------
+    @property
+    def eager_limit(self) -> int:
+        raise NotImplementedError
+
+    def sr_chunk_bytes(self) -> int:
+        """Fragment size for the send/recv rendezvous flavor."""
+        return self.caps.bounce_bytes
+
+    # ------------------------------------------------------------------
+    # host-progress hooks (generator coroutines unless noted)
+    # ------------------------------------------------------------------
+    def connect(self, peer: int):
+        """Pre-send connection setup (e.g. on-demand RC handshake)."""
+        return
+        yield  # pragma: no cover - generator shape
+
+    def acquire_send_credit(self, req: Request):
+        """Flow control before posting a send (tokens, tx slots)."""
+        return
+        yield  # pragma: no cover - generator shape
+
+    def eager_send(self, req: Request, seq: int) -> None:
+        """Put an eager message on the wire and complete ``req`` (buffered).
+
+        The core has already charged O_SEND_POST and the bounce-buffer
+        copy; this is the pure wire action.
+        """
+        raise NotImplementedError
+
+    def send_rts(self, req: Request, seq: int):
+        """Rendezvous RTS (generator; charges registration if the
+        active flavor needs the send buffer pinned)."""
+        raise NotImplementedError
+
+    def send_cts(self, req: Request, env):
+        """Rendezvous CTS back to ``env.src`` (generator; charges
+        registration for RDMA-write flavor)."""
+        raise NotImplementedError
+
+    def rndv_data(self, src: int, meta: dict):
+        """Move the bulk data after a CTS (RDMA write / directed send);
+        must arrange for ``('sfin', sreq)`` to reach the sender's inbox."""
+        raise NotImplementedError
+
+    def rndv_read(self, req: Request, env):
+        """RDMA-read flavor, receiver side: pull ``env.meta['sbuf']``
+        into ``req.buf`` and arrange a ``('rdfin', req, env)`` inbox item."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no RDMA read path")
+
+    def send_read_fin(self, env) -> None:
+        """Tell the sender its buffer is free (RDMA-read flavor)."""
+        raise NotImplementedError
+
+    def send_fragment(self, sreq: Request, rreq: Request, offset: int,
+                      nbytes: int, total: int, last: bool, frag):
+        """Send one bounce-buffer fragment (send/recv flavor); returns
+        the local completion event."""
+        raise NotImplementedError
+
+    def handle_wire(self, item):
+        """Progress-engine dispatch of one fabric-specific inbox item
+        (generator); calls back into ``core.deliver_*``."""
+        raise NotImplementedError
+
+    def nic_intercept(self, item) -> bool:
+        """NIC-level handling at delivery time, before the host inbox.
+
+        Return True to consume ``item`` without host involvement — used
+        for packets a real HCA answers autonomously (RDMA read
+        request/response streams).  No host time may be charged here.
+        """
+        return False
+
+    def on_send_fin(self) -> None:
+        """Housekeeping when a FIN retires (e.g. poll the send CQ)."""
+
+    # ------------------------------------------------------------------
+    # NIC-progress hooks (channels with caps.progress == PROGRESS_NIC)
+    # ------------------------------------------------------------------
+    def prepare_buffer(self, buf):
+        """Per-buffer NIC preparation (e.g. Elan MMU update); generator."""
+        return
+        yield  # pragma: no cover - generator shape
+
+    def nic_send(self, req: Request) -> None:
+        """Hand a send descriptor to the NIC; completion via callback."""
+        raise NotImplementedError
+
+    def nic_recv(self, req: Request):
+        """Post a receive to the NIC matcher (generator; may charge the
+        unexpected-message copy-out)."""
+        raise NotImplementedError
+
+    def nic_peek(self, ctx: int, source: int, tag: int) -> Optional["Status"]:
+        """Query the NIC's pending-arrival list (probe support)."""
+        raise NotImplementedError
+
+    def arrival_gate(self) -> "Gate":
+        """Gate pulsed on new NIC arrivals (blocking probe support)."""
+        raise NotImplementedError

@@ -78,7 +78,7 @@ def barrier(comm):
     if size == 1:
         yield comm.cpu.comm(0.1)
         return
-    if getattr(comm.ep.device, "rdma_coll", False):
+    if comm.ep.device.rdma_coll:  # channel capability + option, see Ch3Device
         yield from _rdma_barrier(comm)
         return
     token = comm.alloc(1)
@@ -158,12 +158,12 @@ def reduce(comm, sendbuf: Buffer, recvbuf: Optional[Buffer], op: Op, root: int =
 # ----------------------------------------------------------------------
 def allreduce(comm, sendbuf: Buffer, recvbuf: Buffer, op: Op):
     """Allreduce; algorithm depends on the port (see module docstring)."""
-    if (getattr(comm.ep.device, "rdma_coll", False)
+    if (comm.ep.device.rdma_coll
             and sendbuf.nbytes <= 2048
             and comm.size & (comm.size - 1) == 0):
         yield from _rdma_allreduce(comm, sendbuf, recvbuf, op)
         return
-    algo = getattr(comm.ep.device, "ALLREDUCE_ALGO", "reduce_bcast")
+    algo = comm.ep.device.caps.allreduce_algo
     if algo == "rdbl" and comm.size & (comm.size - 1) == 0:
         yield from _allreduce_rdbl(comm, sendbuf, recvbuf, op)
     else:

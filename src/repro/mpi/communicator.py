@@ -198,7 +198,7 @@ class Communicator:
                     return i
             return None
 
-        if hasattr(dev, "_drain"):  # host-driven progress engines
+        if dev.caps.progress == "host":  # host-driven progress engines
             while True:
                 yield from dev._drain()
                 i = first_done()

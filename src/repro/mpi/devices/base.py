@@ -1,16 +1,12 @@
-"""Device base classes: the ADI2 boundary of our MPICH.
+"""Device base class: the ADI2 boundary of our MPICH.
 
-Two progress disciplines exist among the three MPI ports:
-
-- **host-driven** (:class:`HostProgressDevice`; MVAPICH and MPICH-GM):
-  every arrival lands in a per-rank inbox and is only acted upon when
-  the host runs the progress engine — i.e. inside an MPI call.  A
-  rendezvous handshake therefore stalls while the application computes,
-  which is exactly the overlap limitation §3.4 attributes to these two
-  stacks.
-- **NIC-driven** (MPICH-Quadrics): matching and rendezvous run on the
-  NIC; the host device merely posts descriptors and waits on completion
-  events.
+:class:`MpiDevice` is the abstract per-rank device — entry points,
+accounting helpers and the memory-footprint model.  The full protocol
+machinery (eager/rendezvous state machines, progress engine, sequence
+re-establishment) lives one layer up in
+:class:`repro.mpi.ch.core.Ch3Device`, which runs over a per-fabric
+:class:`repro.mpi.ch.channel.Channel`; the concrete ports in this
+package are thin channel declarations.
 
 All device entry points are generator coroutines: they charge host CPU
 time by yielding ``cpu.comm(...)`` timeouts, so the paper's host
@@ -22,14 +18,13 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.engine import Simulator
-from repro.core.resources import Gate, Store
 from repro.hardware.cpu import HostCPU
 from repro.hardware.memory import AddressSpace
-from repro.mpi.matching import Envelope, MatchEngine
+from repro.mpi.matching import MatchEngine
 from repro.mpi.request import Request
 from repro.mpi.status import Status
 
-__all__ = ["MpiDevice", "HostProgressDevice"]
+__all__ = ["MpiDevice"]
 
 
 class MpiDevice:
@@ -39,7 +34,12 @@ class MpiDevice:
     MEM_BASE_MB: float = 0.0
     MEM_PER_CONN_MB: float = 0.0
     #: allreduce composition used by this port's MPICH base version
+    #: (authoritative copy lives in the channel's ChannelCaps; this
+    #: class attribute survives as the calibration-anchor surface)
     ALLREDUCE_ALGO = "reduce_bcast"
+    #: RDMA-slot collectives enabled (set by the core when the channel
+    #: has the capability and the option asks for it)
+    rdma_coll: bool = False
 
     def __init__(self, sim: Simulator, rank: int, cpu: HostCPU, fabric, port,
                  space: AddressSpace, recorder=None,
@@ -100,115 +100,3 @@ class MpiDevice:
 
     def _recv_status(self, src: int, tag: int, nbytes: int) -> Status:
         return Status(source=src, tag=tag, nbytes=nbytes)
-
-
-class HostProgressDevice(MpiDevice):
-    """Progress-engine machinery shared by MVAPICH and MPICH-GM.
-
-    Subclasses implement ``_handle(item)`` (a generator charging host
-    time per inbox item) plus the protocol sides of isend/irecv.
-    """
-
-    #: host cost of one progress-engine poll that finds work
-    O_POLL = 0.20
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self.inbox = Store(self.sim, name=f"dev.inbox[{self.rank}]")
-        self.gate = Gate(self.sim, name=f"dev.gate[{self.rank}]")
-        # The NIC deposits arrivals in the host inbox and raises a flag;
-        # no host time is charged until the progress engine runs.
-        self.port.nic_handler = self._post_inbox
-        # MVAPICH-style sequencing: one source's messages may travel
-        # over two channels (shared memory / NIC), so envelopes carry a
-        # per-(destination, context) sequence number and the receiver
-        # re-establishes send order before matching.
-        self._send_seq = {}   # (dst, ctx) -> last assigned
-        self._recv_seq = {}   # (src, ctx) -> next expected
-        self._parked_seq = {} # ((src, ctx), seq) -> (env, handler)
-
-    # -- inbox ----------------------------------------------------------
-    def _post_inbox(self, item) -> None:
-        self.inbox.put(item)
-        self.gate.pulse()
-
-    # -- progress engine ----------------------------------------------------
-    def _drain(self):
-        """Process every queued inbox item; returns True if any work done."""
-        worked = False
-        while len(self.inbox):
-            item = self.inbox.get_nowait()
-            worked = True
-            yield self.cpu.comm(self.O_POLL)
-            yield from self._handle(item)
-        return worked
-
-    def _handle(self, item):
-        raise NotImplementedError
-
-    # -- channel-order re-establishment -----------------------------------
-    def _next_seq(self, dst: int, ctx: int) -> int:
-        key = (dst, ctx)
-        self._send_seq[key] = self._send_seq.get(key, 0) + 1
-        return self._send_seq[key]
-
-    def _arrive_in_order(self, env: Envelope, handler):
-        """Run ``handler(env)`` respecting per-(source, ctx) send order.
-
-        Out-of-order arrivals (a shared-memory message overtaking an
-        in-flight NIC rendezvous, say) are parked until their
-        predecessors have been processed.
-        """
-        key = (env.src, env.ctx)
-        expected = self._recv_seq.get(key, 1)
-        if env.seq != expected:
-            self._parked_seq[(key, env.seq)] = (env, handler)
-            return
-        yield from handler(env)
-        nxt = expected + 1
-        while True:
-            parked = self._parked_seq.pop((key, nxt), None)
-            if parked is None:
-                break
-            env2, handler2 = parked
-            yield from handler2(env2)
-            nxt += 1
-        self._recv_seq[key] = nxt
-
-    def waitall(self, reqs: Sequence[Request]):
-        """Block until every request completes, driving progress."""
-        pending = [r for r in reqs if not r.completed]
-        while True:
-            yield from self._drain()
-            if all(r.completed for r in pending):
-                return
-            # Sleep until the NIC flags new arrivals.  Registration
-            # happens in the same instant as the emptiness check above,
-            # so no pulse can slip through unobserved.
-            yield self.gate.wait()
-
-    def test(self, req: Request):
-        yield from self._drain()
-        return req.completed
-
-    def progress(self):
-        """One explicit progress pass (used by MPI_Test / probes)."""
-        return (yield from self._drain())
-
-    def iprobe(self, ctx: int, source: int, tag: int):
-        """Non-blocking probe: Status of a matching unexpected message,
-        or None."""
-        yield from self._drain()
-        env = self.match.peek(ctx, source, tag)
-        if env is None:
-            return None
-        return self._recv_status(env.src, env.tag, env.nbytes)
-
-    def probe(self, ctx: int, source: int, tag: int):
-        """Blocking probe: drive progress until a match is pending."""
-        while True:
-            yield from self._drain()
-            env = self.match.peek(ctx, source, tag)
-            if env is not None:
-                return self._recv_status(env.src, env.tag, env.nbytes)
-            yield self.gate.wait()

@@ -1,4 +1,4 @@
-"""MPICH-GM-style MPI device over the GM layer.
+"""MPICH-GM-style MPI port: the Myrinet channel under the CH3 core.
 
 Structure follows the MPICH-over-GM port (§2.2): the Channel Interface
 retargeted to GM.
@@ -13,23 +13,41 @@ retargeted to GM.
   buffer and returns a CTS with the target address; the sender registers
   and issues a GM *directed send* straight into the user buffer.
 - **intra-node**: shared memory for every size (Fig. 9's 1.3 µs).
+
+GM has no remote get, so the channel declares ``rdma_write`` (directed
+send) and ``send_recv`` rendezvous only; the copy-train flavor
+fragments at the eager limit so every fragment fits a provided receive
+buffer class.
 """
 
 from __future__ import annotations
 
-from repro.mpi.devices.base import HostProgressDevice
-from repro.mpi.devices.shmem import ShmemMixin, fill_buffer, payload_of
+from repro.mpi.ch.caps import (RNDV_SEND_RECV, RNDV_WRITE, SHMEM_ALL,
+                               ChannelCaps)
+from repro.mpi.ch.channel import Channel
+from repro.mpi.ch.core import Ch3Device
+from repro.mpi.ch.payload import payload_of
 from repro.mpi.matching import Envelope
 from repro.mpi.request import Request
 from repro.networks.myrinet.gm import GmRecvEvent
 
-__all__ = ["MpichGmDevice"]
+__all__ = ["MpichGmDevice", "GmChannel"]
 
 
-class MpichGmDevice(ShmemMixin, HostProgressDevice):
-    """The MPI port used for Myrinet."""
+class GmChannel(Channel):
+    """GM message-passing channel (Myrinet), one per rank."""
 
-    # -- protocol thresholds ----------------------------------------------
+    CAPS = ChannelCaps(
+        fabric="myrinet", port_name="MPICH-GM 1.2.5..10",
+        two_sided=True, rdma_write=True, rdma_read=False,
+        nic_matching=False, rdma_slots=False, progress="host",
+        inline_limit=0, bounce_bytes=16 * 1024, shmem_limit=SHMEM_ALL,
+        eager_inclusive=True, allreduce_algo="rdbl",
+        rndv_flavors=(RNDV_WRITE, RNDV_SEND_RECV),
+        rndv_default=RNDV_WRITE,
+    )
+
+    # -- protocol thresholds --------------------------------------------
     #: eager/rendezvous switch (buffer-reuse sensitivity starts here)
     EAGER_LIMIT = 16 * 1024
 
@@ -48,165 +66,149 @@ class MpichGmDevice(ShmemMixin, HostProgressDevice):
     #: host cost of retiring a GM send-completion callback
     O_SEND_CB = 0.16
 
-    # -- memory model (Fig. 13: flat, connectionless) -----------------------
-    MEM_BASE_MB = 9.0
-    MEM_PER_CONN_MB = 0.05
-
     #: receive buffers provided to the NIC at startup, per size class
     PROVIDED_PER_CLASS = 24
 
-    #: MPICH 1.2.5 (the GM port's base) ships recursive-doubling
-    #: allreduce; the 1.2.2/1.2.4 bases of the other two ports still
-    #: compose reduce+bcast — visible in Fig. 12.
-    ALLREDUCE_ALGO = "rdbl"
-
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self.gm = self.fabric.gm(self.rank)
-        self.eager_limit = int(self.options.get("eager_limit", self.EAGER_LIMIT))
-        self.use_shmem = bool(self.options.get("use_shmem", True))
+    def __init__(self, core: Ch3Device) -> None:
+        super().__init__(core)
+        self.gm = self.fabric.gm(core.rank)
+        self._eager_limit = int(self.options.get("eager_limit", self.EAGER_LIMIT))
         # a ladder of size classes covering everything the eager path
         # (and its control messages) can carry
-        top = self.gm.size_class(self.eager_limit)
+        top = self.gm.size_class(self._eager_limit)
         for klass in range(5, top + 1):
             for _ in range(self.PROVIDED_PER_CLASS):
-                self.gm.provide_receive_buffer(self.space.alloc(1 << klass))
+                self.gm.provide_receive_buffer(core.space.alloc(1 << klass))
+
+    @property
+    def eager_limit(self) -> int:
+        return self._eager_limit
+
+    def sr_chunk_bytes(self) -> int:
+        # every fragment must fit one provided receive-buffer class
+        return self._eager_limit
 
     # ------------------------------------------------------------------
-    # sends
+    # wire actions
     # ------------------------------------------------------------------
-    def isend(self, req: Request):
-        if (self.use_shmem and self.fabric.same_node(self.rank, req.peer)
-                and req.peer != self.rank):
-            yield from self._shmem_isend(req)
-            return
-        self._record_transfer(req.peer, req.nbytes)
+    def acquire_send_credit(self, req: Request):
         # honour GM send-token flow control
         while self.gm._inflight_sends >= self.gm.send_tokens:
-            yield self.cpu.comm(0.5)
-        seq = self._next_seq(req.peer, req.ctx)
-        if req.nbytes <= self.eager_limit:
-            self._count_msg("eager", req)
-            yield from self._eager_isend(req, seq)
-        else:
-            self._count_msg("rndv", req)
-            yield from self._rndv_isend(req, seq)
+            yield self.core.cpu.comm(0.5)
 
-    def _eager_isend(self, req: Request, seq: int = 0):
-        cpu = self.cpu
-        yield cpu.comm(self.O_SEND_POST)
-        # copy through the pre-registered bounce buffer
-        yield cpu.comm(cpu.memcpy.copy_time(req.nbytes))
+    def eager_send(self, req: Request, seq: int) -> None:
         local = self.gm.send_with_callback(
             req.peer, req.buf, tag=req.tag, payload=payload_of(req.buf),
             meta={"mpi": "eager", "ctx": req.ctx, "mseq": seq},
         )
         # GM reports send completion through a callback the host must
         # retire from its receive loop
-        local.add_callback(lambda _e: self._post_inbox(("scb", None)))
+        local.add_callback(lambda _e: self.core._post_inbox(("scb", None)))
         req.complete()  # buffered
 
-    def _rndv_isend(self, req: Request, seq: int = 0):
-        cpu = self.cpu
-        yield cpu.comm(self.O_SEND_POST)
-        rts = self.space.alloc(32)  # tiny control message
+    def send_rts(self, req: Request, seq: int):
+        rts = self.core.space.alloc(32)  # tiny control message
         self.gm.send_with_callback(
             req.peer, rts, tag=req.tag,
             meta={"mpi": "rts", "ctx": req.ctx, "data_nbytes": req.nbytes,
                   "sreq": req, "mseq": seq},
         )
-        self.space.free(rts)
+        self.core.space.free(rts)
+        return
+        yield  # pragma: no cover - generator shape
 
-    # ------------------------------------------------------------------
-    # receives
-    # ------------------------------------------------------------------
-    def irecv(self, req: Request):
-        yield self.cpu.comm(self.O_RECV_POST)
-        env = self.match.post_recv(req)
-        if env is None:
-            return
-        if env.kind in ("eager", "shm"):
-            yield from self._complete_eager_match(req, env)
-        elif env.kind == "rts":
-            yield from self._rndv_reply(req, env)
-        else:  # pragma: no cover - defensive
-            raise RuntimeError(f"unknown unexpected envelope kind {env.kind}")
+    def send_cts(self, req: Request, env: Envelope):
+        meta = {"mpi": "cts", "ctx": env.ctx, "sreq": env.meta["sreq"],
+                "rreq": req}
+        if self.core.rendezvous != RNDV_SEND_RECV:
+            # directed-send flavor pins the receive buffer; the
+            # copy-train flavor reuses provided buffers instead
+            yield self.core.cpu.comm(self.gm.register(req.buf))
+            meta["remote_buf"] = req.buf
+        cts = self.core.space.alloc(32)
+        self.gm.send_with_callback(env.src, cts, tag=env.tag, meta=meta)
+        self.core.space.free(cts)
 
-    def _complete_eager_match(self, req: Request, env: Envelope):
-        cpu = self.cpu
-        yield cpu.comm(cpu.memcpy.copy_time(env.nbytes))
-        fill_buffer(req.buf, env.payload)
-        req.complete(self._recv_status(env.src, env.tag, env.nbytes))
-
-    def _rndv_reply(self, req: Request, env: Envelope):
-        cpu = self.cpu
-        yield cpu.comm(self.O_RNDV)
-        yield cpu.comm(self.gm.register(req.buf))
-        cts = self.space.alloc(32)
-        self.gm.send_with_callback(
-            env.src, cts, tag=env.tag,
-            meta={"mpi": "cts", "ctx": env.ctx, "sreq": env.meta["sreq"],
-                  "rreq": req, "remote_buf": req.buf},
+    def rndv_data(self, src: int, meta: dict):
+        sreq: Request = meta["sreq"]
+        yield self.core.cpu.comm(self.gm.register(sreq.buf))
+        local = self.gm.directed_send(
+            src, sreq.buf, meta["remote_buf"],
+            payload=payload_of(sreq.buf),
+            meta={"mpi": "rdata", "rreq": meta["rreq"],
+                  "tag": sreq.tag, "ctx": sreq.ctx},
         )
-        self.space.free(cts)
+        local.add_callback(lambda _e: self.core._post_inbox(("sfin", sreq)))
+
+    def send_fragment(self, sreq: Request, rreq: Request, offset: int,
+                      nbytes: int, total: int, last: bool, frag):
+        buf = self.core.space.alloc(max(nbytes, 1))
+        local = self.gm.send_with_callback(
+            sreq.peer, buf, tag=sreq.tag, payload=frag,
+            meta={"mpi": "frag", "rreq": rreq, "tag": sreq.tag,
+                  "offset": offset, "total": total, "last": last},
+        )
+        self.core.space.free(buf)
+        # each gm_send's completion callback still costs the host
+        local.add_callback(lambda _e: self.core._post_inbox(("scb", None)))
+        return local
 
     # ------------------------------------------------------------------
-    # progress engine
+    # progress-engine dispatch
     # ------------------------------------------------------------------
-    def _match_eager(self, env: Envelope):
-        req = self.match.arrive(env)
-        if req is not None:
-            yield from self._complete_eager_match(req, env)
-
-    def _match_rts(self, env: Envelope):
-        req = self.match.arrive(env)
-        if req is not None:
-            yield from self._rndv_reply(req, env)
-
-    def _handle(self, item):
-        cpu = self.cpu
-        if isinstance(item, Envelope):  # shared-memory arrival
-            yield from self._arrive_in_order(item, self._handle_shm)
-            return
-        if isinstance(item, tuple) and item[0] == "sfin":
-            yield cpu.comm(self.O_FIN)
-            item[1].complete()
-            return
-        if isinstance(item, tuple) and item[0] == "scb":
-            yield cpu.comm(self.O_SEND_CB)
-            return
+    def handle_wire(self, item):
+        core = self.core
         # a GM packet: let the port do its NIC-side buffer accounting
         ev: GmRecvEvent = self.gm.nic_accept(item)
         if ev.kind == "recv" and ev.buffer is not None:
             self.gm.provide_receive_buffer(ev.buffer)  # replenish its class
         mpi_kind = ev.meta.get("mpi")
         if mpi_kind == "eager":
-            yield cpu.comm(self.O_MATCH)
             env = Envelope("eager", ev.src_rank, ev.tag, ev.meta["ctx"],
                            ev.nbytes, payload=item.payload,
                            seq=ev.meta.get("mseq", 0))
-            yield from self._arrive_in_order(env, self._match_eager)
+            yield from core.deliver_eager(env)
         elif mpi_kind == "rts":
-            yield cpu.comm(self.O_MATCH)
             env = Envelope("rts", ev.src_rank, ev.tag, ev.meta["ctx"],
                            ev.meta["data_nbytes"], meta={"sreq": ev.meta["sreq"]},
                            seq=ev.meta.get("mseq", 0))
-            yield from self._arrive_in_order(env, self._match_rts)
+            yield from core.deliver_rts(env)
         elif mpi_kind == "cts":
-            yield cpu.comm(self.O_RNDV)
-            sreq: Request = ev.meta["sreq"]
-            yield cpu.comm(self.gm.register(sreq.buf))
-            local = self.gm.directed_send(
-                ev.src_rank, sreq.buf, ev.meta["remote_buf"],
-                payload=payload_of(sreq.buf),
-                meta={"mpi": "rdata", "rreq": ev.meta["rreq"],
-                      "tag": sreq.tag, "ctx": sreq.ctx},
-            )
-            local.add_callback(lambda _e: self._post_inbox(("sfin", sreq)))
+            yield from core.deliver_cts(ev.src_rank, ev.meta)
         elif mpi_kind == "rdata":
-            yield cpu.comm(self.O_FIN)
-            rreq: Request = ev.meta["rreq"]
-            fill_buffer(rreq.buf, item.payload)
-            rreq.complete(self._recv_status(ev.src_rank, ev.meta["tag"], ev.nbytes))
+            yield from core.deliver_rdata(ev.meta["rreq"], ev.src_rank,
+                                          ev.meta["tag"], ev.nbytes,
+                                          item.payload)
+        elif mpi_kind == "frag":
+            yield from core.deliver_fragment(ev.src_rank, ev.meta,
+                                             ev.nbytes, item.payload)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"MPICH-GM progress got unknown item {item!r}")
+
+
+class MpichGmDevice(Ch3Device):
+    """The MPI port used for Myrinet."""
+
+    # back-compat constant surface (calibration anchors, tests, figures)
+    EAGER_LIMIT = GmChannel.EAGER_LIMIT
+    PROVIDED_PER_CLASS = GmChannel.PROVIDED_PER_CLASS
+    O_SEND_POST = GmChannel.O_SEND_POST
+    O_RECV_POST = GmChannel.O_RECV_POST
+
+    # -- memory model (Fig. 13: flat, connectionless) -----------------------
+    MEM_BASE_MB = 9.0
+    MEM_PER_CONN_MB = 0.05
+
+    #: MPICH 1.2.5 (the GM port's base) ships recursive-doubling
+    #: allreduce; the 1.2.2/1.2.4 bases of the other two ports still
+    #: compose reduce+bcast — visible in Fig. 12.
+    ALLREDUCE_ALGO = "rdbl"
+
+    channel: GmChannel
+
+    def _make_channel(self) -> GmChannel:
+        return GmChannel(self)
+
+    @property
+    def gm(self):
+        return self.channel.gm

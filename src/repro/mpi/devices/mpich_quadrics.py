@@ -1,16 +1,17 @@
-"""MPICH-over-Tports MPI device for Quadrics.
+"""MPICH-over-Tports MPI port: the Quadrics channel under the CH3 core.
 
 The ADI2 port on Tports (§2.3) is thin: Tports already provides tagged,
 matched, reliable point-to-point messaging with **all progress on the
-NIC**, so this device mostly maps MPI envelopes ``(context, tag,
-source)`` onto Tports selectors and charges the Tports library's
-comparatively heavy host call costs (Fig. 3's ~3.3 µs total overhead,
-with the documented dip past the 288-byte inline limit).
+NIC**, so the channel declares ``nic_matching`` / NIC progress and the
+shared core takes its completion-discipline path — requests complete
+via NIC callbacks while the host computes (Fig. 6's overlap).  What
+used to be a separate device lineage is now a capability declaration.
 
-Distinctive behaviours this device reproduces:
+Distinctive behaviours this channel reproduces:
 
-- requests complete via NIC callbacks — a rendezvous progresses while
-  the host computes (Fig. 6's growing overlap potential);
+- the library's comparatively heavy host call costs (Fig. 3's ~3.3 µs
+  total overhead, with the documented dip past the 288-byte inline
+  limit);
 - the 16-deep Tports transmit queue: posting a 17th outstanding send
   spins the host (Fig. 2's window>16 bandwidth drop);
 - no shared-memory channel: intra-node messages loop through the Elan,
@@ -23,14 +24,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.resources import AllOf
+from repro.mpi.ch.caps import RNDV_NIC, ChannelCaps
+from repro.mpi.ch.channel import Channel
+from repro.mpi.ch.core import Ch3Device
+from repro.mpi.ch.payload import payload_of
 from repro.mpi.constants import ANY_SOURCE, ANY_TAG
-from repro.mpi.devices.base import MpiDevice
-from repro.mpi.devices.shmem import payload_of
 from repro.mpi.request import Request
 from repro.networks.quadrics.tports import ANY as TP_ANY
 
-__all__ = ["MpichQuadricsDevice", "TagSelector"]
+__all__ = ["MpichQuadricsDevice", "TportsChannel", "TagSelector"]
 
 
 @dataclass(frozen=True)
@@ -48,8 +50,13 @@ class TagSelector:
         return self.tag == ANY_TAG or other[1] == self.tag
 
 
-class MpichQuadricsDevice(MpiDevice):
-    """The MPI port used for Quadrics."""
+class TportsChannel(Channel):
+    """Elan3 Tports channel (Quadrics), one per rank.
+
+    Matching, eager staging and rendezvous all run in the NIC's thread
+    processor (``tports.py``); the channel only prices the host library
+    calls and keeps the Elan MMU coherent.
+    """
 
     # -- host costs (µs) — calibrated against Figs. 1 & 3 ------------------
     #: Tports tx call (descriptor build, command issue)
@@ -59,44 +66,45 @@ class MpichQuadricsDevice(MpiDevice):
     #: host-side completion pickup (event word read)
     O_COMPLETE = 0.18
 
-    # -- memory model (Fig. 13: flat) ---------------------------------------
-    MEM_BASE_MB = 19.0
-    MEM_PER_CONN_MB = 0.1
+    def __init__(self, core: Ch3Device) -> None:
+        self.tp = core.fabric.tport(core.rank)
+        self.params = core.fabric.params
+        eager = core.options.get("eager_limit")
+        if eager is not None and int(eager) != self.params.eager_bytes:
+            # The Tports eager/rendezvous switch lives in NIC firmware
+            # (QuadricsParams is shared by every port of the fabric), so
+            # an eager_limit option retunes the whole fabric.  Frozen
+            # dataclass + idempotent across ranks: every rank writes the
+            # same value.
+            object.__setattr__(self.params, "eager_bytes", int(eager))
+        super().__init__(core)
 
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self.tp = self.fabric.tport(self.rank)
-        self.params = self.fabric.params
+    def _build_caps(self) -> ChannelCaps:
+        return ChannelCaps(
+            fabric="quadrics", port_name="MPICH 1.2.4..8quadrics",
+            two_sided=True, rdma_write=True, rdma_read=True,
+            nic_matching=True, rdma_slots=False, progress="nic",
+            inline_limit=self.params.inline_bytes,
+            bounce_bytes=self.params.eager_bytes, shmem_limit=0.0,
+            eager_inclusive=True, allreduce_algo="reduce_bcast",
+            rndv_flavors=(RNDV_NIC,), rndv_default=RNDV_NIC,
+        )
+
+    @property
+    def eager_limit(self) -> int:
+        return self.params.eager_bytes
 
     # ------------------------------------------------------------------
-    # sends
+    # NIC-progress hooks
     # ------------------------------------------------------------------
-    def isend(self, req: Request):
-        cpu = self.cpu
-        tp = self.tp
+    def acquire_send_credit(self, req: Request):
+        cpu = self.core.cpu
         # Tports transmit queue is 16 deep; beyond it the host spins.
-        while tp.tx_full():
+        while self.tp.tx_full():
             yield cpu.comm(self.params.tx_queue_full_penalty_us)
-            yield tp.tx_slot_gate.wait()
-        cost = self.O_SEND
-        if req.nbytes <= self.params.inline_bytes:
-            self._count_msg("inline", req)
-            # host PIO-copies the payload into the command port
-            cost += cpu.memcpy.copy_time(req.nbytes)
-        elif req.nbytes <= self.params.eager_bytes:
-            self._count_msg("eager", req)
-        else:
-            self._count_msg("rndv", req)
-        yield cpu.comm(cost)
-        yield from self._mmu_update(req.buf)
-        self._record_transfer(req.peer, req.nbytes)
-        handle = tp.tx(req.peer, (req.ctx, req.tag), req.buf, payload=payload_of(req.buf))
-        handle.done.add_callback(lambda _e: req.complete())
+            yield self.tp.tx_slot_gate.wait()
 
-    # ------------------------------------------------------------------
-    # receives
-    # ------------------------------------------------------------------
-    def _mmu_update(self, buf):
+    def prepare_buffer(self, buf):
         """Install missing Elan MMU translations.
 
         The update is performed by host system software but stalls the
@@ -105,67 +113,66 @@ class MpichQuadricsDevice(MpiDevice):
         """
         cost = self.tp.tlb_cost(buf)
         if cost > 0:
-            self.cpu.comm_time_us += cost  # host-side accounting
-            nic = self.fabric.nic(self.fabric.node_of(self.rank))
+            self.core.cpu.comm_time_us += cost  # host-side accounting
+            nic = self.fabric.nic(self.fabric.node_of(self.core.rank))
             yield nic.mproc.transfer(0, overhead=cost)
 
-    def irecv(self, req: Request):
-        cpu = self.cpu
-        tp = self.tp
-        yield cpu.comm(self.O_RECV_POST)
-        yield from self._mmu_update(req.buf)
+    def nic_send(self, req: Request) -> None:
+        handle = self.tp.tx(req.peer, (req.ctx, req.tag), req.buf,
+                            payload=payload_of(req.buf))
+        handle.done.add_callback(lambda _e: req.complete())
+
+    def nic_recv(self, req: Request):
+        core = self.core
         src_sel = TP_ANY if req.peer == ANY_SOURCE else req.peer
         tag_sel = TagSelector(req.ctx, req.tag)
-        handle = tp.rx(src_sel, tag_sel, req.buf)
+        handle = self.tp.rx(src_sel, tag_sel, req.buf)
         if handle.copy_cost_us:
             # matched an unexpected message staged in a system buffer:
             # the library copies it out now, on the host
-            yield cpu.comm(handle.copy_cost_us)
+            yield core.cpu.comm(handle.copy_cost_us)
 
         def _completed(ev) -> None:
             src, tagkey, nbytes = ev.value
             tag = tagkey[1] if isinstance(tagkey, tuple) else tagkey
-            req.complete(self._recv_status(src, tag, nbytes))
+            req.complete(core._recv_status(src, tag, nbytes))
 
         handle.done.add_callback(_completed)
 
-    # ------------------------------------------------------------------
-    # completion
-    # ------------------------------------------------------------------
-    def waitall(self, reqs):
-        pending = [r.done for r in reqs if not r.completed]
-        if pending:
-            yield AllOf(self.sim, pending)
-        yield self.cpu.comm(self.O_COMPLETE * max(1, len(reqs)))
-
-    def test(self, req: Request):
-        yield self.cpu.comm(0.10)
-        return req.completed
-
-    def progress(self):
-        """NIC-progressed network: nothing for the host to drive."""
-        yield self.cpu.comm(0.05)
-        return False
-
-    def _tp_selectors(self, ctx: int, source: int, tag: int):
+    def nic_peek(self, ctx: int, source: int, tag: int):
         src_sel = TP_ANY if source == ANY_SOURCE else source
-        return src_sel, TagSelector(ctx, tag)
-
-    def iprobe(self, ctx: int, source: int, tag: int):
-        """Query the NIC's pending-arrival list (one library call)."""
-        yield self.cpu.comm(0.35)
-        src_sel, tag_sel = self._tp_selectors(ctx, source, tag)
-        item = self.tp.peek(src_sel, tag_sel)
+        item = self.tp.peek(src_sel, TagSelector(ctx, tag))
         if item is None:
             return None
         tagkey = item.tag
         t = tagkey[1] if isinstance(tagkey, tuple) else tagkey
-        return self._recv_status(item.src_rank, t, item.nbytes)
+        return self.core._recv_status(item.src_rank, t, item.nbytes)
 
-    def probe(self, ctx: int, source: int, tag: int):
-        """Block until the NIC holds a matching unmatched arrival."""
-        while True:
-            st = yield from self.iprobe(ctx, source, tag)
-            if st is not None:
-                return st
-            yield self.tp.arrival_gate.wait()
+    def arrival_gate(self):
+        return self.tp.arrival_gate
+
+
+class MpichQuadricsDevice(Ch3Device):
+    """The MPI port used for Quadrics."""
+
+    # back-compat constant surface (calibration anchors, tests, figures)
+    O_SEND = TportsChannel.O_SEND
+    O_RECV_POST = TportsChannel.O_RECV_POST
+    O_COMPLETE = TportsChannel.O_COMPLETE
+
+    # -- memory model (Fig. 13: flat) ---------------------------------------
+    MEM_BASE_MB = 19.0
+    MEM_PER_CONN_MB = 0.1
+
+    channel: TportsChannel
+
+    def _make_channel(self) -> TportsChannel:
+        return TportsChannel(self)
+
+    @property
+    def tp(self):
+        return self.channel.tp
+
+    @property
+    def params(self):
+        return self.channel.params

@@ -1,95 +1,27 @@
-"""Shared-memory intra-node channel.
+"""Shared-memory intra-node channel: the standalone cost model.
 
 MPICH-GM uses shared memory for *all* intra-node messages; MVAPICH only
 below 16 KB (larger intra-node messages loop through the HCA);
-MPICH-Quadrics has no shared-memory device at all (§3.6).
+MPICH-Quadrics has no shared-memory device at all (§3.6).  Which of
+these applies is a channel capability (``ChannelCaps.shmem_limit``) and
+the send/receive state machine lives in the shared protocol core
+(:class:`repro.mpi.ch.core.Ch3Device`).
 
 A shared-memory transfer is two host copies through a shared segment —
 sender copy-in, receiver copy-out — so its cost is dominated by the
 memcpy model: the working set is twice the message size, and once that
 exceeds the 512 KB L2 the copy rate collapses, reproducing the
 large-message intra-node bandwidth drop of Fig. 10.
+
+``payload_of`` / ``fill_buffer`` moved to :mod:`repro.mpi.ch.payload`;
+the re-exports below keep old import sites working.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from repro.mpi.ch.payload import fill_buffer, payload_of
 
-import numpy as np
-
-from repro.hardware.memory import Buffer
-from repro.mpi.matching import Envelope
-from repro.mpi.request import Request
-
-__all__ = ["ShmemMixin", "ShmemChannel", "payload_of"]
-
-
-def payload_of(buf: Optional[Buffer]) -> Optional[np.ndarray]:
-    """Snapshot a buffer's bytes for in-flight transport (None if no data)."""
-    if buf is None or buf.data is None:
-        return None
-    return buf.data.reshape(-1).view(np.uint8).copy()
-
-
-def fill_buffer(buf: Optional[Buffer], payload: Optional[np.ndarray]) -> None:
-    """Copy transported bytes into a receive buffer's array (if both real)."""
-    if buf is None or buf.data is None or payload is None:
-        return
-    dst = buf.data.reshape(-1).view(np.uint8)
-    n = min(dst.shape[0], len(payload))
-    dst[:n] = payload[:n]
-
-
-class ShmemMixin:
-    """Adds a shared-memory send path to a HostProgressDevice.
-
-    The host device must define ``O_SHM_SEND`` / ``O_SHM_RECV`` (library
-    costs per side) and ``SHM_LATENCY`` (signalling delay), and the
-    world wires ``peers`` (rank -> device).
-    """
-
-    #: host library cost on the sending side (beyond the copy)
-    O_SHM_SEND = 0.35
-    #: host library cost on the receiving side (beyond the copy)
-    O_SHM_RECV = 0.30
-    #: flag-write to flag-visible delay between two CPUs
-    SHM_LATENCY = 0.15
-
-    #: rank -> device table, wired by the world at construction; the
-    #: None default makes an unwired device fail loudly rather than
-    #: share state across worlds.
-    peers: Optional[Dict[int, "ShmemMixin"]] = None
-
-    def _shmem_isend(self, req: Request):
-        """Send ``req`` through shared memory (same-node peer)."""
-        cpu = self.cpu
-        self._count_msg("shmem", req)
-        yield cpu.comm(self.O_SHM_SEND)
-        # copy into the shared segment (streaming, cache-thrash aware)
-        yield cpu.comm(cpu.memcpy.shmem_copy_time(req.nbytes))
-        env = Envelope(
-            kind="shm", src=req.rank, tag=req.tag, ctx=req.ctx,
-            nbytes=req.nbytes, payload=payload_of(req.buf),
-            seq=self._next_seq(req.peer, req.ctx),
-        )
-        self._record_transfer(req.peer, req.nbytes)
-        dst_dev = self.peers[req.peer]
-        ev = self.sim.event("shm.deliver")
-        ev.add_callback(lambda _e: dst_dev._post_inbox(env))
-        ev.succeed(delay=self.SHM_LATENCY)
-        req.complete()
-
-    def _handle_shm(self, env: Envelope):
-        """Receiver-side processing of a shared-memory envelope."""
-        cpu = self.cpu
-        yield cpu.comm(self.O_SHM_RECV)
-        req = self.match.arrive(env)
-        if req is not None:
-            yield cpu.comm(cpu.memcpy.shmem_copy_time(env.nbytes))
-            fill_buffer(req.buf, env.payload)
-            req.complete(self._recv_status(env.src, env.tag, env.nbytes))
-        # unmatched: parked in the unexpected queue; the copy-out is paid
-        # when a matching receive is posted (see _complete_eager_match).
+__all__ = ["ShmemChannel", "payload_of", "fill_buffer"]
 
 
 class ShmemChannel:

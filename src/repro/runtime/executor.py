@@ -57,6 +57,11 @@ def _execute_microbench(spec: RunSpec) -> dict:
     accepted = inspect.signature(fn).parameters
     if "nprocs" in accepted:
         kwargs.setdefault("nprocs", spec.nprocs)
+    if spec.mpi_options:
+        if "mpi_options" not in accepted:
+            raise TypeError(f"microbench {spec.target!r} does not accept "
+                            "mpi_options")
+        kwargs["mpi_options"] = thaw_mapping(spec.mpi_options)
     series = fn(spec.network, **kwargs)
     return {"kind": KIND_MICROBENCH, "bench": spec.target, "label": series.label,
             "points": [[float(x), float(y)] for x, y in series.points]}

@@ -116,13 +116,15 @@ class RunSpec:
     @classmethod
     def microbench(cls, bench: str, network: str, *, sizes: Sequence[int] = (),
                    iters: Optional[int] = None, nprocs: int = 2, ppn: int = 1,
-                   net_overrides: Optional[Mapping] = None, seed: int = 0,
+                   net_overrides: Optional[Mapping] = None,
+                   mpi_options: Optional[Mapping] = None, seed: int = 0,
                    **params: Any) -> "RunSpec":
         """Spec for one ``measure_*`` sweep (bench name from the registry)."""
         overrides = dict(net_overrides or {})
         bus_kind = overrides.pop("bus_kind", None)
         return cls(kind=KIND_MICROBENCH, target=bench, network=network,
                    nprocs=nprocs, ppn=ppn, bus_kind=bus_kind,
+                   mpi_options=freeze_mapping(mpi_options),
                    net_overrides=freeze_mapping(overrides),
                    sizes=tuple(sizes), iters=iters, seed=seed,
                    params=freeze_mapping(params))

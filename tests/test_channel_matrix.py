@@ -1,0 +1,137 @@
+"""The what-if device matrix: capability-gated protocol composition.
+
+The CH3 split promises that any rendezvous flavor a channel declares
+runs over that fabric, that unsupported combinations fail loudly, and
+that what-if configurations are distinct cache keys with explainable
+timing shifts — while the paper-default configurations stay exactly as
+golden-timed.
+"""
+
+import pytest
+
+from repro.microbench.common import run_pair
+from repro.microbench.latency import pingpong_fn
+from repro.mpi.ch.caps import RNDV_NIC, RNDV_READ, RNDV_SEND_RECV, RNDV_WRITE
+from repro.mpi.ch.matrix import (MATRIX_NETWORKS, enumerate_cells, fabric_caps,
+                                 render_caps_table)
+from repro.runtime.spec import RunSpec
+
+
+def _latency(network, nbytes, mpi_options=None, iters=6):
+    lat, _ = run_pair(pingpong_fn, network, args=(nbytes, iters, 1),
+                      mpi_options=mpi_options)
+    return lat
+
+
+class TestCapabilities:
+    def test_declared_flavors(self):
+        assert fabric_caps("infiniband").rndv_flavors == (
+            RNDV_WRITE, RNDV_READ, RNDV_SEND_RECV)
+        assert fabric_caps("myrinet").rndv_flavors == (
+            RNDV_WRITE, RNDV_SEND_RECV)
+        assert fabric_caps("quadrics").rndv_flavors == (RNDV_NIC,)
+
+    def test_enumerate_cells_marks_defaults(self):
+        cells = enumerate_cells()
+        assert len(cells) == 6
+        defaults = {c.network: c.rendezvous for c in cells if c.default}
+        assert defaults == {"infiniband": RNDV_WRITE, "myrinet": RNDV_WRITE,
+                            "quadrics": RNDV_NIC}
+
+    def test_progress_disciplines(self):
+        assert fabric_caps("infiniband").progress == "host"
+        assert fabric_caps("myrinet").progress == "host"
+        assert fabric_caps("quadrics").progress == "nic"
+
+    def test_caps_table_renders_every_fabric(self):
+        table = render_caps_table()
+        for net in MATRIX_NETWORKS:
+            assert net in table
+        assert "rendezvous flavors" in table
+
+
+class TestUnsupportedCombinations:
+    def test_quadrics_rejects_host_rendezvous(self):
+        with pytest.raises(ValueError, match="unsupported on quadrics"):
+            _latency("quadrics", 64, mpi_options={"rendezvous": RNDV_WRITE})
+
+    def test_myrinet_rejects_rdma_read(self):
+        with pytest.raises(ValueError, match="unsupported on myrinet"):
+            _latency("myrinet", 64, mpi_options={"rendezvous": RNDV_READ})
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError):
+            _latency("infiniband", 64, mpi_options={"rendezvous": "magic"})
+
+
+class TestWhatIfTimings:
+    """Non-paper configurations run end-to-end with explainable shifts."""
+
+    def test_explicit_default_flavor_is_identical(self):
+        # naming the shipped flavor is a no-op on the timing model
+        base = _latency("infiniband", 65536)
+        named = _latency("infiniband", 65536,
+                         mpi_options={"rendezvous": RNDV_WRITE})
+        assert named == base
+
+    def test_send_recv_rendezvous_costs_more_on_ib(self):
+        # bounce-buffer copy train vs zero-copy RDMA write
+        write = _latency("infiniband", 65536)
+        sr = _latency("infiniband", 65536,
+                      mpi_options={"rendezvous": RNDV_SEND_RECV})
+        assert sr > write
+
+    def test_rdma_read_close_to_write_on_ib(self):
+        # one fewer handshake leg but same zero-copy transfer: within 10%
+        write = _latency("infiniband", 65536)
+        read = _latency("infiniband", 65536,
+                        mpi_options={"rendezvous": RNDV_READ})
+        assert read != write
+        assert abs(read - write) / write < 0.10
+
+    def test_eager_limit_sweep_on_myrinet(self):
+        # shrinking the crossover pushes 4 KB into rendezvous: slower
+        base = _latency("myrinet", 4096)
+        small = _latency("myrinet", 4096, mpi_options={"eager_limit": 1024})
+        assert small > base
+        # growing it keeps 4 KB eager: unchanged
+        big = _latency("myrinet", 4096, mpi_options={"eager_limit": 32768})
+        assert big == base
+
+    def test_quadrics_eager_limit_lifts_rendezvous(self):
+        # 8 KB sits above the 4 KB tports eager cutoff by default
+        base = _latency("quadrics", 8192)
+        lifted = _latency("quadrics", 8192,
+                          mpi_options={"eager_limit": 16384})
+        assert lifted < base
+
+
+class TestCacheKeys:
+    def test_mpi_options_distinguish_digests(self):
+        base = RunSpec.microbench("latency", "infiniband", sizes=(65536,))
+        what_if = RunSpec.microbench(
+            "latency", "infiniband", sizes=(65536,),
+            mpi_options={"rendezvous": RNDV_SEND_RECV})
+        assert base.digest != what_if.digest
+
+    def test_option_order_does_not_matter(self):
+        a = RunSpec.microbench(
+            "latency", "myrinet", sizes=(4096,),
+            mpi_options={"eager_limit": 1024, "rendezvous": RNDV_SEND_RECV})
+        b = RunSpec.microbench(
+            "latency", "myrinet", sizes=(4096,),
+            mpi_options={"rendezvous": RNDV_SEND_RECV, "eager_limit": 1024})
+        assert a.digest == b.digest
+
+    def test_matrix_default_cells_share_paper_digests(self):
+        # default-flavor cells must hit the same cache entries the
+        # paper figures use (no rendezvous option in the spec)
+        from repro.mpi.ch.matrix import MatrixCell
+        cell = MatrixCell("infiniband", RNDV_WRITE, default=True)
+        assert cell.default
+        paper = RunSpec.microbench("latency", "infiniband",
+                                   sizes=(32768, 262144), iters=10, warmup=2)
+        matrix_spec = RunSpec.microbench(
+            "latency", "infiniband", sizes=(32768, 262144), iters=10,
+            warmup=2, mpi_options={})
+        assert paper.digest == matrix_spec.digest

@@ -1,0 +1,126 @@
+"""Protocol-accounting invariants on randomized schedules.
+
+Every isend is counted under exactly one wire protocol
+(``mpi.msgs.{eager,rndv,inline,shmem}``) and recorded exactly once by
+the profiling recorder, whatever the fabric, process layout or what-if
+protocol configuration.  The CH3 core owns both the counter and the
+recorder call, so these invariants pin the single choke point every
+channel now flows through.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.world import MPIWorld
+
+NETWORKS = ["infiniband", "myrinet", "quadrics"]
+PROTOS = ("eager", "rndv", "inline", "shmem")
+
+# a schedule is a list of (src, dst, nbytes, tag) with src != dst
+_msg = st.tuples(
+    st.integers(min_value=0, max_value=3),          # src
+    st.integers(min_value=0, max_value=3),          # dst
+    st.integers(min_value=1, max_value=100_000),    # nbytes
+    st.integers(min_value=0, max_value=3),          # tag
+).filter(lambda m: m[0] != m[1])
+
+_schedule = st.lists(_msg, min_size=1, max_size=12)
+
+
+def _run_schedule(schedule, network, ppn=1, mpi_options=None):
+    """Run the schedule with recording on; returns the finished world."""
+
+    def fn(comm):
+        me = comm.rank
+        reqs = []
+        for src, dst, nbytes, tag in schedule:
+            if dst == me:
+                buf = comm.alloc_array(nbytes, dtype=np.uint8)
+                r = yield from comm.irecv(buf, source=src, tag=tag)
+                reqs.append(r)
+        for src, dst, nbytes, tag in schedule:
+            if src == me:
+                buf = comm.alloc_array(nbytes, dtype=np.uint8)
+                s = yield from comm.isend(buf, dest=dst, tag=tag)
+                reqs.append(s)
+        yield from comm.waitall(reqs)
+
+    world = MPIWorld(4, network=network, ppn=ppn, record=True,
+                     mpi_options=mpi_options)
+    world.run(fn)
+    return world
+
+
+def _assert_accounting(world, schedule):
+    """The two invariants: message counts and byte totals line up."""
+    m = world.sim.metrics
+    msgs = sum(m.counter(f"mpi.msgs.{p}") for p in PROTOS)
+    nbytes = sum(m.counter(f"mpi.bytes.{p}") for p in PROTOS)
+    assert msgs == len(world.recorder.transfers) == len(schedule)
+    want_bytes = sum(n for _, _, n, _ in schedule)
+    assert nbytes == sum(t.nbytes for t in world.recorder.transfers)
+    assert nbytes == want_bytes
+    # the size histogram is fed from the same choke point
+    h = world.sim.metrics.histograms.get("mpi.msg_size")
+    assert h is not None and h["count"] == msgs and h["sum"] == nbytes
+
+
+class TestProtocolAccounting:
+    @given(schedule=_schedule, net=st.sampled_from(NETWORKS))
+    @settings(max_examples=45, deadline=None)
+    def test_property_counters_match_recorder(self, schedule, net):
+        _assert_accounting(_run_schedule(schedule, net), schedule)
+
+    @given(schedule=_schedule)
+    @settings(max_examples=15, deadline=None)
+    def test_property_smp_layout_counts_shmem(self, schedule):
+        """ppn=2: intra-node messages route to shmem, still counted once."""
+        world = _run_schedule(schedule, "infiniband", ppn=2)
+        _assert_accounting(world, schedule)
+
+    @given(schedule=_schedule, net=st.sampled_from(["infiniband", "myrinet"]))
+    @settings(max_examples=15, deadline=None)
+    def test_property_what_if_flavors_keep_invariants(self, schedule, net):
+        """send_recv rendezvous (fragment trains) never double-counts."""
+        world = _run_schedule(schedule, net,
+                              mpi_options={"rendezvous": "send_recv"})
+        _assert_accounting(world, schedule)
+
+    @given(schedule=_schedule)
+    @settings(max_examples=10, deadline=None)
+    def test_property_eager_limit_keeps_invariants(self, schedule):
+        world = _run_schedule(schedule, "myrinet",
+                              mpi_options={"eager_limit": 1024})
+        _assert_accounting(world, schedule)
+
+
+class TestProtocolSelection:
+    """Sizes land in the protocol the port's capabilities declare."""
+
+    def _counters(self, network, nbytes, ppn=1, mpi_options=None):
+        schedule = [(0, 1, nbytes, 0)]
+        world = _run_schedule(schedule, network, ppn=ppn,
+                              mpi_options=mpi_options)
+        return world.sim.metrics
+
+    def test_small_is_eager_large_is_rndv(self):
+        for net in NETWORKS:
+            small = self._counters(net, 64)
+            assert small.counter("mpi.msgs.rndv") == 0
+            large = self._counters(net, 256 * 1024)
+            assert large.counter("mpi.msgs.rndv") == 1
+
+    def test_quadrics_tiny_is_inline(self):
+        m = self._counters("quadrics", 64)
+        assert m.counter("mpi.msgs.inline") == 1
+
+    def test_smp_small_is_shmem(self):
+        m = self._counters("infiniband", 64, ppn=2)
+        assert m.counter("mpi.msgs.shmem") == 1
+
+    def test_eager_limit_moves_the_crossover(self):
+        m = self._counters("myrinet", 4096)
+        assert m.counter("mpi.msgs.eager") == 1
+        m = self._counters("myrinet", 4096, mpi_options={"eager_limit": 1024})
+        assert m.counter("mpi.msgs.rndv") == 1
