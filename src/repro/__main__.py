@@ -17,6 +17,10 @@ Usage::
     python -m repro matrix               # what-if fabric x rendezvous matrix
     python -m repro bench latency --network infiniband \
         --mpi-option rendezvous=send_recv --eager-limit 1024   # what-if run
+    python -m repro bench latency --fault drop_rate=0.01 \
+        --network myrinet                # lossy wire, GM ack/resend absorbs
+    python -m repro faults               # degradation curves per fabric
+    python -m repro report --run-timeout 120   # livelock guard per spec
 
 Installed as the ``repro`` console script as well.
 """
@@ -37,7 +41,7 @@ def _cmd_list() -> int:
     print("tables:  " + " ".join(sorted(TABLES)))
     print("apps:    " + " ".join(sorted(PROBLEMS)))
     print("other:   calibration  loggp  sensitivity  validate  report  "
-          "matrix  bench <name>  profile <app.class> <nprocs>")
+          "matrix  faults  bench <name>  profile <app.class> <nprocs>")
     return 0
 
 
@@ -69,6 +73,30 @@ def parse_mpi_options(ns) -> dict:
     return options
 
 
+def parse_faults(ns) -> dict:
+    """``--fault key=val`` pairs plus ``--fault-seed`` as a dict.
+
+    Validated eagerly through :class:`repro.faults.FaultSpec` so a typo
+    fails here, not deep inside a worker process.
+    """
+    faults = {}
+    for item in ns.fault or ():
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--fault needs key=val, got {item!r}")
+        faults[key] = _coerce_option(value)
+    if ns.fault_seed is not None:
+        faults["seed"] = ns.fault_seed
+    if faults:
+        from repro.faults import FaultSpec
+
+        try:
+            FaultSpec.from_mapping(faults)
+        except (ValueError, TypeError) as exc:
+            raise SystemExit(f"bad --fault configuration: {exc}") from None
+    return faults
+
+
 def _cmd_profile(spec: str, nprocs: int, network: str,
                  mpi_options=None) -> int:
     from repro.apps import run_app
@@ -94,8 +122,12 @@ def _cmd_bench(ns) -> int:
     options = parse_mpi_options(ns)
     if options:
         kwargs["mpi_options"] = options
+    faults = parse_faults(ns)
+    if faults:
+        kwargs["faults"] = faults
     series = measure(name, ns.network, **kwargs)
-    label = ns.network + (f" {options}" if options else "")
+    label = ns.network + (f" {options}" if options else "") \
+        + (f" faults={faults}" if faults else "")
     print(f"{name} on {label}")
     print(series.fmt(yunit="us" if "latency" in name else ""))
     return 0
@@ -154,7 +186,7 @@ def main(argv=None) -> int:
         description="Regenerate artifacts from Liu et al. (SC'03) in simulation.")
     parser.add_argument("target", help="figN | tableN | calibration | loggp | "
                                        "sensitivity | profile | trace | "
-                                       "matrix | bench | list")
+                                       "matrix | faults | bench | list")
     parser.add_argument("args", nargs="*", help="extra arguments (profile: "
                                                 "app.class nprocs; trace: "
                                                 "pingpong | figN | app.class; "
@@ -192,10 +224,24 @@ def main(argv=None) -> int:
                         metavar="BYTES", dest="eager_limit",
                         help="eager/rendezvous crossover in bytes (shorthand "
                              "for --mpi-option eager_limit=BYTES)")
+    parser.add_argument("--fault", action="append", default=None,
+                        metavar="KEY=VAL", dest="fault",
+                        help="wire-fault parameter (repeatable), e.g. "
+                             "drop_rate=0.01, corrupt_rate=0.005, "
+                             "stall_period_us=500; keyed into the result "
+                             "cache via RunSpec.faults")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        metavar="N", dest="fault_seed",
+                        help="seed for the deterministic fault roll stream "
+                             "(shorthand for --fault seed=N)")
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        metavar="SECONDS", dest="run_timeout",
+                        help="per-spec wall-clock budget; a run exceeding it "
+                             "fails with SimulationError instead of hanging")
     ns = parser.parse_args(argv)
 
     runtime.configure(jobs=ns.jobs, enabled=not ns.no_cache,
-                      disk_dir=ns.cache_dir)
+                      disk_dir=ns.cache_dir, timeout_s=ns.run_timeout)
 
     rc = _dispatch(ns, parser)
     if ns.target.lower() != "list":
@@ -219,6 +265,13 @@ def _dispatch(ns, parser) -> int:
         return 0
     if t == "bench":
         return _cmd_bench(ns)
+    if t == "faults":
+        from repro.experiments.degradation import degradation_report
+
+        print(degradation_report(quick=not ns.full,
+                                 seed=ns.fault_seed if ns.fault_seed is not None
+                                 else 7))
+        return 0
     if t == "calibration":
         from repro.experiments.calibration import calibration_report
 

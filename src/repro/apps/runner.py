@@ -102,7 +102,7 @@ def simulate_app_spec(spec: RunSpec, tracer=None) -> dict:
                      mapping=spec.mapping, record=spec.record,
                      net_overrides=spec.merged_net_overrides(),
                      mpi_options=thaw_mapping(spec.mpi_options) or None,
-                     tracer=tracer)
+                     tracer=tracer, faults=spec.fault_mapping())
     res = world.run(rank_fn)
     loop_us = marks["t_loop_end"] - marks["t_loop_start"]
     setup_us = marks["t_loop_start"]

@@ -10,16 +10,40 @@ registering a resume callback on whatever event they yield.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Optional
 
 from repro.core.metrics import MetricsRegistry
 from repro.core.tracing import Tracer
 
-__all__ = ["Simulator", "Event", "Timeout", "SimulationError"]
+__all__ = ["Simulator", "Event", "Timeout", "SimulationError",
+           "set_wall_timeout", "get_wall_timeout"]
 
 
 class SimulationError(RuntimeError):
     """Raised for illegal engine operations (double trigger, deadlock...)."""
+
+
+#: process-wide wall-clock budget (seconds) per Simulator.run() call;
+#: None = unlimited.  Set by the runtime executor around each spec
+#: (``--run-timeout``) so a livelocked run fails loudly instead of
+#: hanging CI.  A module global (not a Simulator field) so it reaches
+#: worlds built deep inside benchmark functions and worker processes.
+_WALL_TIMEOUT_S: Optional[float] = None
+
+#: how often (in processed events) the run loop samples the wall clock
+_WALL_CHECK_MASK = 0x0FFF
+
+
+def set_wall_timeout(seconds: Optional[float]) -> None:
+    """Set (or clear, with None) the per-run wall-clock budget."""
+    global _WALL_TIMEOUT_S
+    _WALL_TIMEOUT_S = None if seconds is None else float(seconds)
+
+
+def get_wall_timeout() -> Optional[float]:
+    """The current per-run wall-clock budget in seconds, or None."""
+    return _WALL_TIMEOUT_S
 
 
 #: Priority used for ordinary events.
@@ -178,6 +202,8 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        deadline = (None if _WALL_TIMEOUT_S is None
+                    else time.monotonic() + _WALL_TIMEOUT_S)
         try:
             if until_event is not None:
                 stop = []
@@ -193,17 +219,29 @@ class Simulator:
                             f"simulation horizon {until} reached while waiting "
                             f"for {until_event!r}"
                         )
+                    if deadline is not None:
+                        self._check_wall(deadline)
                     self.step()
                 return until_event.value
             while self._heap:
                 if until is not None and self.peek() > until:
                     break
+                if deadline is not None:
+                    self._check_wall(deadline)
                 self.step()
             if until is not None and self.now < until:
                 self.now = until
             return None
         finally:
             self._running = False
+
+    def _check_wall(self, deadline: float) -> None:
+        """Sample the wall clock every few thousand events; fail loudly."""
+        if (self._nprocessed & _WALL_CHECK_MASK) == 0 and \
+                time.monotonic() > deadline:
+            raise SimulationError(
+                f"wall-clock timeout: run exceeded {_WALL_TIMEOUT_S}s "
+                f"(sim t={self.now:.3f}us, {self._nprocessed} events)")
 
     @property
     def events_processed(self) -> int:

@@ -34,6 +34,12 @@ METRIC_NAMES = (
     "mpi.msg_size",                     # histogram
     "net.pkts.<kind>", "net.bytes.payload", "net.bytes.wire",
     "net.retransmits",
+    # fault-injection plane (repro.faults), nonzero only in faulted runs
+    "net.retx.pkts", "net.retx.bytes", "net.retx.backoff_us",
+    "net.retx.losses", "net.retx.drops", "net.retx.corrupts",
+    "net.retx.flap_drops", "net.retx.dups", "net.retx.exhausted",
+    "net.retx.stalls", "net.retx.stall_us",
+    "net.retx.acks", "net.bytes.ack",
     "proto.nic_matches",
     "reg.cache.hits", "reg.cache.misses", "reg.cache.evicted_pages",
     "tlb.hits", "tlb.misses",

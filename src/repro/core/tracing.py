@@ -36,7 +36,8 @@ from typing import Any, Iterator, List, Optional
 __all__ = ["TraceRecord", "Tracer", "TRACE_CATEGORIES"]
 
 #: every category emitted by the built-in instrumentation, in layer order
-TRACE_CATEGORIES = ("engine", "hw", "net", "proto", "mpi")
+#: ('net.retx' appears only in fault-injected runs — see repro.faults)
+TRACE_CATEGORIES = ("engine", "hw", "net", "net.retx", "proto", "mpi")
 
 
 @dataclass(frozen=True)

@@ -73,12 +73,14 @@ def bistream_fn(comm, nbytes: int, window: int, rounds: int, warmup_rounds: int)
 def measure_bandwidth(network: str, sizes: Sequence[int] = PAPER_BW_SIZES,
                       window: int = 16, rounds: int = 12, warmup_rounds: int = 3,
                       net_overrides: Optional[dict] = None,
-                      mpi_options: Optional[dict] = None) -> Series:
+                      mpi_options: Optional[dict] = None,
+                      faults: Optional[dict] = None) -> Series:
     """Fig. 2 (and Fig. 27 with ``net_overrides={'bus_kind': 'pci'}``)."""
     series = Series(f"{network} W={window}")
     for n in sizes:
         bw, _ = run_pair(stream_fn, network, args=(n, window, rounds, warmup_rounds),
-                         net_overrides=net_overrides, mpi_options=mpi_options)
+                         net_overrides=net_overrides, mpi_options=mpi_options,
+                         faults=faults)
         series.add(n, bw)
     return series
 

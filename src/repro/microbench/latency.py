@@ -53,12 +53,14 @@ def pingping_fn(comm, nbytes: int, iters: int, warmup: int):
 def measure_latency(network: str, sizes: Sequence[int] = PAPER_LAT_SIZES,
                     iters: int = 30, warmup: int = 5,
                     net_overrides: Optional[dict] = None,
-                    mpi_options: Optional[dict] = None) -> Series:
+                    mpi_options: Optional[dict] = None,
+                    faults: Optional[dict] = None) -> Series:
     """Fig. 1 (and Fig. 26 with ``net_overrides={'bus_kind': 'pci'}``)."""
     series = Series(network)
     for n in sizes:
         lat, _ = run_pair(pingpong_fn, network, args=(n, iters, warmup),
-                          net_overrides=net_overrides, mpi_options=mpi_options)
+                          net_overrides=net_overrides, mpi_options=mpi_options,
+                          faults=faults)
         series.add(n, lat)
     return series
 

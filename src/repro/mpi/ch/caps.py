@@ -73,6 +73,17 @@ class ChannelCaps:
     rndv_flavors: Tuple[str, ...] = (RNDV_WRITE,)
     #: flavor used when no ``rendezvous`` option is given
     rndv_default: str = RNDV_WRITE
+    #: reliability protocol absorbing injected wire faults
+    #: ('rc' | 'ack_resend' | 'hw_retry' | 'none'; see repro.faults)
+    reliability: str = "none"
+    #: delivery attempts allowed per packet before the link is declared
+    #: dead (IB RC's 3-bit retry_cnt, GM's resend budget, Elan microcode)
+    max_retries: int = 7
+    #: base retransmission timeout in µs (doubles per retry under 'rc')
+    rto_us: float = 10.0
+    #: per-packet acknowledgement bytes on the wire (GM's host-level
+    #: acks; 0 where acks are piggybacked or hardware-internal)
+    ack_bytes: int = 0
     #: human-readable port name for tables/docs
     port_name: str = field(default="", compare=False)
 

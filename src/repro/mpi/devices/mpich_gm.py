@@ -45,6 +45,9 @@ class GmChannel(Channel):
         eager_inclusive=True, allreduce_algo="rdbl",
         rndv_flavors=(RNDV_WRITE, RNDV_SEND_RECV),
         rndv_default=RNDV_WRITE,
+        # GM's sliding-window ack/resend: every packet acked by the
+        # LANai firmware, fixed software resend timer, generous budget
+        reliability="ack_resend", max_retries=15, rto_us=18.0, ack_bytes=16,
     )
 
     # -- protocol thresholds --------------------------------------------

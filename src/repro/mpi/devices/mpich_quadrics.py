@@ -88,6 +88,9 @@ class TportsChannel(Channel):
             bounce_bytes=self.params.eager_bytes, shmem_limit=0.0,
             eager_inclusive=True, allreduce_algo="reduce_bcast",
             rndv_flavors=(RNDV_NIC,), rndv_default=RNDV_NIC,
+            # Elan3 link-level retry in NIC microcode: near-immediate
+            # turnaround, effectively unbounded budget from software's view
+            reliability="hw_retry", max_retries=31, rto_us=1.8, ack_bytes=0,
         )
 
     @property

@@ -48,6 +48,9 @@ class MvapichChannel(Channel):
         eager_inclusive=False, allreduce_algo="reduce_bcast",
         rndv_flavors=(RNDV_WRITE, RNDV_READ, RNDV_SEND_RECV),
         rndv_default=RNDV_WRITE,
+        # RC transport: 3-bit retry_cnt (max 7), Local Ack Timeout
+        # doubling per retry; exhaustion moves the QP to ERR
+        reliability="rc", max_retries=7, rto_us=12.0, ack_bytes=0,
     )
 
     # -- protocol thresholds --------------------------------------------

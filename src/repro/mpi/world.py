@@ -70,12 +70,15 @@ class MPIWorld:
         mapping: str = "block",
         memcpy: Optional[MemcpyModel] = None,
         tracer: Optional[Tracer] = None,
+        faults: Optional[dict] = None,
     ) -> None:
         """``mpi_options`` are forwarded to the MPI device (e.g.
         ``{"on_demand_connections": True}`` or ``{"rdma_collectives":
         True}`` for the MVAPICH port).  ``mapping`` is the
         process-to-node placement: ``"block"`` (the paper's §4.6
-        choice) or ``"cyclic"``."""
+        choice) or ``"cyclic"``.  ``faults`` (a mapping or
+        :class:`~repro.faults.FaultSpec`) injects deterministic wire
+        faults, absorbed by the fabric's declared reliability protocol."""
         if nprocs < 1:
             raise ValueError("need at least one process")
         if ppn < 1:
@@ -126,6 +129,18 @@ class MPIWorld:
                 MPIEndpoint(self.sim, self, rank, node_id, cpu, space, device,
                             self.recorder)
             )
+        if faults:
+            from repro.faults import FaultPlane, FaultSpec
+
+            fspec = (faults if isinstance(faults, FaultSpec)
+                     else FaultSpec.from_mapping(dict(faults)))
+            if fspec.active:
+                caps = devices[0].caps
+                self.fabric.install_fault_plane(FaultPlane(
+                    self.sim, self.fabric, fspec,
+                    reliability=caps.reliability,
+                    max_retries=caps.max_retries,
+                    rto_us=caps.rto_us, ack_bytes=caps.ack_bytes))
         # wire shared-memory peer table and (for MVAPICH) RC connections
         all_ranks = list(range(nprocs))
         for dev in devices.values():

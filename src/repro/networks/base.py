@@ -72,6 +72,13 @@ class NetPort:
         self.nic_handler: Optional[Callable[[Packet], None]] = None
 
     def deliver(self, pkt: Packet) -> None:
+        plane = self.fabric.fault_plane
+        if plane is not None and plane.on_deliver(self, pkt):
+            return  # consumed: dropped, corrupted or parked by a fault
+        self._deliver_now(pkt)
+
+    def _deliver_now(self, pkt: Packet) -> None:
+        """Hand an arrival to the rank, past any fault checks."""
         if self.nic_handler is not None:
             self.nic_handler(pkt)
         else:
@@ -99,6 +106,9 @@ class Fabric:
         self._paths: Dict[Tuple[int, int], PipelinePath] = {}
         self._injectors: Dict[int, "_Injector"] = {}
         self._pkt_seq = 0
+        #: installed by MPIWorld when a run carries a FaultSpec; None
+        #: keeps the delivery path at a single attribute check
+        self.fault_plane = None
 
     # -- attachment -----------------------------------------------------
     def attach(self, rank: int, node_id: int) -> NetPort:
@@ -111,6 +121,18 @@ class Fabric:
 
     def _on_attach(self, port: NetPort) -> None:
         """Subclass hook (e.g. allocate per-connection resources)."""
+
+    def install_fault_plane(self, plane) -> None:
+        """Attach a :class:`repro.faults.FaultPlane` to this fabric."""
+        self.fault_plane = plane
+
+    def on_link_failure(self, pkt: Packet) -> None:
+        """Hook: a packet exhausted its retry budget (about to raise).
+
+        Subclasses transition connection state here — the InfiniBand
+        fabric moves the RC queue pair to its error state, mirroring
+        what the HCA does when ``retry_cnt`` runs out.
+        """
 
     def node_of(self, rank: int) -> int:
         return self.ports[rank].node_id
@@ -171,6 +193,8 @@ class Fabric:
         """
         self._pkt_seq += 1
         pkt.seq = self._pkt_seq
+        if self.fault_plane is not None:
+            self.fault_plane.on_send(pkt)
         src_node = self.node_of(pkt.src_rank)
         dst_node = self.node_of(pkt.dst_rank)
         wire_bytes = pkt.nbytes + self.header_bytes + extra_wire_bytes

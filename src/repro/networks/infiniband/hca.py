@@ -77,6 +77,18 @@ class InfiniBandFabric(Fabric):
         """The per-rank VAPI context (created at attach time)."""
         return self.devices[rank]
 
+    def on_link_failure(self, port_pkt) -> None:
+        """RC retry exhaustion: the HCA transitions the QP to ERR.
+
+        Matches verbs semantics — once ``retry_cnt`` runs out the queue
+        pair is unusable until torn down and reconnected; the MPI layer
+        sees the failure as a structured :class:`LinkFailure`.
+        """
+        dev = self.devices.get(port_pkt.src_rank)
+        qp = dev.qps.get(port_pkt.dst_rank) if dev is not None else None
+        if qp is not None:
+            qp.state = "ERR"
+
     def _on_attach(self, port: NetPort) -> None:
         self.hca(port.node_id)
         self.devices[port.rank] = VapiDevice(

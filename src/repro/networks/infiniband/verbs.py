@@ -86,6 +86,9 @@ class QueuePair:
         self.peer_rank = peer_rank
         self.posted_recvs: List[tuple] = []  # (wr_id, Buffer)
         self.sends_posted = 0
+        #: verbs QP state: 'RTS' (ready to send) until transport retry
+        #: exhaustion moves it to 'ERR' (see InfiniBandFabric.on_link_failure)
+        self.state = "RTS"
 
     # -- verbs ----------------------------------------------------------
     def post_recv(self, buf: Buffer, wr_id: int) -> None:

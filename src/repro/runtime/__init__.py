@@ -33,12 +33,15 @@ from typing import List, Optional, Sequence, Union
 from repro.core.metrics import MetricsRegistry
 from repro.runtime.cache import (DEFAULT_CACHE_DIR, CacheStats, ResultCache,
                                  code_salt)
-from repro.runtime.executor import SweepExecutor, execute_spec
+from repro.runtime.executor import (SpecExecutionError, SweepError,
+                                    SweepExecutor, execute_spec,
+                                    is_error_payload)
 from repro.runtime.spec import (SPEC_SCHEMA_VERSION, RunSpec, freeze_mapping,
                                 thaw_mapping)
 
 __all__ = [
     "RunSpec", "ResultCache", "CacheStats", "SweepExecutor",
+    "SweepError", "SpecExecutionError", "is_error_payload",
     "execute_spec", "configure", "reset", "run_spec", "run_specs",
     "get_cache", "get_executor", "cache_stats", "metrics",
     "DEFAULT_CACHE_DIR", "SPEC_SCHEMA_VERSION", "code_salt",
@@ -46,17 +49,22 @@ __all__ = [
 ]
 
 #: process-wide runtime state; adjusted via configure()/reset()
-_state = {"jobs": 1, "cache": ResultCache(), "metrics": MetricsRegistry()}
+_state = {"jobs": 1, "cache": ResultCache(), "metrics": MetricsRegistry(),
+          "timeout_s": None, "strict": False}
 
 
 def configure(jobs: Optional[int] = None, enabled: Optional[bool] = None,
-              disk_dir: Optional[Union[str, Path, bool]] = None) -> None:
+              disk_dir: Optional[Union[str, Path, bool]] = None,
+              timeout_s: Optional[float] = None,
+              strict: Optional[bool] = None) -> None:
     """Adjust the process-wide executor.
 
     ``jobs``: worker count for subsequent sweeps (1 = serial).
     ``enabled``: False drops the cache entirely (every spec re-simulates).
     ``disk_dir``: a path (or True for ``.repro_cache/``) enables the
     on-disk JSON tier; existing in-memory entries are kept.
+    ``timeout_s``: per-spec wall-clock budget (``--run-timeout``).
+    ``strict``: re-raise sweep failures instead of returning error payloads.
     """
     if jobs is not None:
         _state["jobs"] = max(1, int(jobs))
@@ -69,6 +77,10 @@ def configure(jobs: Optional[int] = None, enabled: Optional[bool] = None,
         if disk_dir is True:
             disk_dir = DEFAULT_CACHE_DIR
         _state["cache"].disk_dir = Path(disk_dir)
+    if timeout_s is not None:
+        _state["timeout_s"] = float(timeout_s) if timeout_s > 0 else None
+    if strict is not None:
+        _state["strict"] = bool(strict)
 
 
 def reset(jobs: int = 1, enabled: bool = True,
@@ -77,6 +89,8 @@ def reset(jobs: int = 1, enabled: bool = True,
     _state["jobs"] = max(1, int(jobs))
     _state["cache"] = ResultCache(disk_dir=disk_dir) if enabled else None
     _state["metrics"] = MetricsRegistry()
+    _state["timeout_s"] = None
+    _state["strict"] = False
 
 
 def get_cache() -> Optional[ResultCache]:
@@ -87,7 +101,9 @@ def get_cache() -> Optional[ResultCache]:
 def get_executor() -> SweepExecutor:
     """An executor bound to the current jobs/cache configuration."""
     return SweepExecutor(jobs=_state["jobs"], cache=_state["cache"],
-                         metrics=_state["metrics"])
+                         metrics=_state["metrics"],
+                         timeout_s=_state["timeout_s"],
+                         strict=_state["strict"])
 
 
 def metrics() -> MetricsRegistry:

@@ -44,6 +44,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     disk_hits: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -51,14 +52,19 @@ class CacheStats:
 
     def reset(self) -> None:
         self.hits = self.misses = self.stores = self.disk_hits = 0
+        self.corrupt = 0
 
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "disk_hits": self.disk_hits}
+                "stores": self.stores, "disk_hits": self.disk_hits,
+                "corrupt": self.corrupt}
 
     def __str__(self) -> str:
-        return (f"{self.hits} hits, {self.misses} misses "
+        base = (f"{self.hits} hits, {self.misses} misses "
                 f"({self.disk_hits} from disk, {self.stores} stored)")
+        if self.corrupt:
+            base += f", {self.corrupt} corrupt quarantined"
+        return base
 
 
 class ResultCache:
@@ -95,8 +101,19 @@ class ResultCache:
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
                     return payload
+                # unparseable (or non-dict) file: quarantine it so the
+                # next run re-simulates once instead of re-failing the
+                # parse forever; the .corrupt file is kept for forensics
+                self._quarantine(path)
         self.stats.misses += 1
         return None
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - e.g. racing reader won
+            return
+        self.stats.corrupt += 1
 
     def store(self, spec: RunSpec, payload: dict) -> None:
         digest = spec.digest

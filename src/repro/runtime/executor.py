@@ -6,26 +6,70 @@ simulator is deterministic), which licenses both layers above it:
 results may be cached by spec digest, and independent specs may be
 fanned out over ``multiprocessing`` workers with bit-identical output
 to serial execution.
+
+Failure isolation: the executor wraps every spec in
+:func:`_safe_execute`, so one raising spec no longer sinks a whole
+``pool.map`` sweep with an opaque multiprocessing traceback.  The
+failed spec resolves to a structured *error payload* (``kind='error'``
+with the exception type/message/traceback and the spec's digest), the
+remaining specs complete, and ``strict=True`` re-raises at the end for
+callers that prefer the old behaviour.  Error payloads are never
+cached and never merged into metrics.
 """
 
 from __future__ import annotations
 
+import functools
 import inspect
 import multiprocessing
+import traceback
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.metrics import MetricsRegistry
 from repro.runtime.cache import ResultCache
 from repro.runtime.spec import KIND_APP, KIND_MICROBENCH, RunSpec, thaw_mapping
 
-__all__ = ["execute_spec", "SweepExecutor"]
+__all__ = ["execute_spec", "SweepExecutor", "SweepError",
+           "SpecExecutionError", "KIND_ERROR", "is_error_payload"]
+
+#: payload kind marking a spec that raised instead of producing a result
+KIND_ERROR = "error"
+
+
+class SpecExecutionError(RuntimeError):
+    """A spec failed in a worker process (original traceback preserved)."""
+
+    def __init__(self, payload: dict) -> None:
+        err = payload.get("error", {})
+        self.payload = payload
+        super().__init__(
+            f"{err.get('spec', 'spec')} failed with "
+            f"{err.get('type', 'Exception')}: {err.get('message', '')}\n"
+            f"--- worker traceback ---\n{err.get('traceback', '')}")
+
+
+class SweepError(RuntimeError):
+    """strict=True summary: one or more specs in a sweep failed."""
+
+    def __init__(self, errors: List[dict]) -> None:
+        self.errors = errors
+        first = errors[0]["error"]
+        super().__init__(
+            f"{len(errors)} spec(s) failed in sweep; first: "
+            f"{first['spec']} raised {first['type']}: {first['message']}")
+
+
+def is_error_payload(payload) -> bool:
+    """True if ``payload`` is a structured per-spec failure record."""
+    return isinstance(payload, dict) and payload.get("kind") == KIND_ERROR
 
 
 def execute_spec(spec: RunSpec) -> dict:
     """Run the simulation a spec describes and return its JSON-able payload.
 
-    Must stay importable at module top level (no closures) so that
-    ``multiprocessing`` workers can receive it.
+    Raises on failure (callers wanting isolation go through
+    :class:`SweepExecutor`).  Must stay importable at module top level
+    (no closures) so ``multiprocessing`` workers can receive it.
     """
     if spec.kind == KIND_APP:
         from repro.apps.runner import simulate_app_spec
@@ -37,7 +81,7 @@ def execute_spec(spec: RunSpec) -> dict:
 
 
 def _execute_microbench(spec: RunSpec) -> dict:
-    from repro.microbench.common import bench_registry
+    from repro.microbench.common import bench_registry, metrics_sink
 
     try:
         fn = bench_registry()[spec.target]
@@ -62,9 +106,59 @@ def _execute_microbench(spec: RunSpec) -> dict:
             raise TypeError(f"microbench {spec.target!r} does not accept "
                             "mpi_options")
         kwargs["mpi_options"] = thaw_mapping(spec.mpi_options)
-    series = fn(spec.network, **kwargs)
-    return {"kind": KIND_MICROBENCH, "bench": spec.target, "label": series.label,
-            "points": [[float(x), float(y)] for x, y in series.points]}
+    if spec.faults:
+        if "faults" not in accepted:
+            raise TypeError(f"microbench {spec.target!r} does not accept "
+                            "fault injection")
+        kwargs["faults"] = thaw_mapping(spec.faults)
+    sink = MetricsRegistry()
+    with metrics_sink(sink):
+        series = fn(spec.network, **kwargs)
+    payload = {"kind": KIND_MICROBENCH, "bench": spec.target,
+               "label": series.label,
+               "points": [[float(x), float(y)] for x, y in series.points]}
+    if sink:
+        payload["metrics"] = sink.to_dict()
+    return payload
+
+
+def _error_payload(spec: RunSpec, exc: BaseException) -> dict:
+    """Structured failure record for one spec (JSON-able, never cached)."""
+    return {
+        "kind": KIND_ERROR,
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "spec": spec.describe(),
+            "digest": spec.digest,
+            "traceback": traceback.format_exc(),
+        },
+    }
+
+
+def _safe_execute(spec: RunSpec, timeout_s: Optional[float] = None,
+                  keep_exception: bool = False) -> dict:
+    """Isolated single-spec execution: errors become payloads.
+
+    Runs in workers via :func:`functools.partial`, so it must stay at
+    module top level.  ``timeout_s`` arms the engine's wall-clock
+    watchdog for this spec only.  ``keep_exception`` (serial path only)
+    attaches the live exception object under ``"_exc"`` so in-process
+    callers can re-raise the original — the key is stripped before any
+    caching and never crosses a process boundary.
+    """
+    from repro.core import engine
+
+    engine.set_wall_timeout(timeout_s)
+    try:
+        return execute_spec(spec)
+    except Exception as exc:
+        payload = _error_payload(spec, exc)
+        if keep_exception:
+            payload["_exc"] = exc
+        return payload
+    finally:
+        engine.set_wall_timeout(None)
 
 
 class SweepExecutor:
@@ -75,12 +169,21 @@ class SweepExecutor:
     more than once in a sweep are simulated once.  Results come back
     aligned with the input order either way, and — the sims being
     deterministic — parallel payloads are identical to serial ones.
+
+    A failing spec yields an error payload (see :func:`is_error_payload`)
+    in its slot instead of aborting the sweep; pass ``strict=True`` to
+    re-raise a :class:`SweepError` after the survivors finish.
+    ``timeout_s`` bounds each spec's wall-clock time (None = unlimited).
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 timeout_s: Optional[float] = None,
+                 strict: bool = False) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.timeout_s = timeout_s
+        self.strict = strict
         #: aggregate of the per-run metrics of every unique payload this
         #: executor resolved (cache hits included — the metrics describe
         #: the simulated run, however it was obtained)
@@ -101,26 +204,45 @@ class SweepExecutor:
             else:
                 pending.append(spec)
                 seen_pending.add(digest)
+        errors: List[dict] = []
         if pending:
             for spec, payload in zip(pending, self._execute_all(pending)):
                 resolved[spec.digest] = payload
+                if is_error_payload(payload):
+                    errors.append(payload)
+                    continue
                 if self.cache is not None:
                     self.cache.store(spec, payload)
         for payload in resolved.values():
+            if is_error_payload(payload):
+                continue
             m = payload.get("metrics")
             if m:
                 self.metrics.merge(m)
+        if errors and self.strict:
+            raise SweepError(errors)
         return [resolved[spec.digest] for spec in specs]
 
     def run_one(self, spec: RunSpec) -> dict:
-        return self.run([spec])[0]
+        """One spec; a failure re-raises (the original exception when the
+        spec ran in-process, else a :class:`SpecExecutionError`)."""
+        payload = self.run([spec])[0]
+        if is_error_payload(payload):
+            exc = payload.pop("_exc", None)
+            if exc is not None:
+                raise exc
+            raise SpecExecutionError(payload)
+        return payload
 
     def _execute_all(self, pending: List[RunSpec]) -> List[dict]:
         if self.jobs <= 1 or len(pending) == 1:
-            return [execute_spec(spec) for spec in pending]
+            return [_safe_execute(spec, timeout_s=self.timeout_s,
+                                  keep_exception=True)
+                    for spec in pending]
+        worker = functools.partial(_safe_execute, timeout_s=self.timeout_s)
         nworkers = min(self.jobs, len(pending))
         with multiprocessing.Pool(processes=nworkers) as pool:
-            return pool.map(execute_spec, pending, chunksize=1)
+            return pool.map(worker, pending, chunksize=1)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<SweepExecutor jobs={self.jobs} cache={self.cache!r}>"

@@ -80,6 +80,7 @@ class RunSpec:
     seed: int = 0                       # reserved for stochastic workloads
     record: bool = False                # attach a profiling Recorder
     params: Pairs = ()                  # any further driver keyword arguments
+    faults: Pairs = ()                  # wire-fault injection (repro.faults)
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_APP, KIND_MICROBENCH):
@@ -91,7 +92,7 @@ class RunSpec:
         # normalize in place so directly-constructed specs digest identically
         object.__setattr__(self, "network", canonical_network(self.network))
         object.__setattr__(self, "sizes", tuple(int(s) for s in self.sizes))
-        for name in ("mpi_options", "net_overrides", "params"):
+        for name in ("mpi_options", "net_overrides", "params", "faults"):
             object.__setattr__(self, name, freeze_mapping(getattr(self, name)))
 
     # -- constructors ------------------------------------------------------
@@ -100,7 +101,8 @@ class RunSpec:
             *, mapping: str = "block", verify: bool = False,
             sample_iters: Optional[int] = None, record: bool = True,
             net_overrides: Optional[Mapping] = None,
-            mpi_options: Optional[Mapping] = None, seed: int = 0) -> "RunSpec":
+            mpi_options: Optional[Mapping] = None,
+            faults: Optional[Mapping] = None, seed: int = 0) -> "RunSpec":
         """Spec for one application run (mirrors ``run_app``'s signature)."""
         overrides = dict(net_overrides or {})
         bus_kind = overrides.pop("bus_kind", None)
@@ -111,13 +113,15 @@ class RunSpec:
                    nprocs=nprocs, ppn=ppn, mapping=mapping, bus_kind=bus_kind,
                    mpi_options=freeze_mapping(mpi_options),
                    net_overrides=freeze_mapping(overrides),
-                   seed=seed, record=record, params=freeze_mapping(params))
+                   seed=seed, record=record, params=freeze_mapping(params),
+                   faults=freeze_mapping(faults))
 
     @classmethod
     def microbench(cls, bench: str, network: str, *, sizes: Sequence[int] = (),
                    iters: Optional[int] = None, nprocs: int = 2, ppn: int = 1,
                    net_overrides: Optional[Mapping] = None,
-                   mpi_options: Optional[Mapping] = None, seed: int = 0,
+                   mpi_options: Optional[Mapping] = None,
+                   faults: Optional[Mapping] = None, seed: int = 0,
                    **params: Any) -> "RunSpec":
         """Spec for one ``measure_*`` sweep (bench name from the registry)."""
         overrides = dict(net_overrides or {})
@@ -127,7 +131,8 @@ class RunSpec:
                    mpi_options=freeze_mapping(mpi_options),
                    net_overrides=freeze_mapping(overrides),
                    sizes=tuple(sizes), iters=iters, seed=seed,
-                   params=freeze_mapping(params))
+                   params=freeze_mapping(params),
+                   faults=freeze_mapping(faults))
 
     # -- identity ----------------------------------------------------------
     @property
@@ -137,7 +142,13 @@ class RunSpec:
         if cached is None:
             payload = {"schema": SPEC_SCHEMA_VERSION}
             for f in fields(self):
-                payload[f.name] = getattr(self, f.name)
+                value = getattr(self, f.name)
+                if f.name == "faults" and not value:
+                    # fault-free specs digest exactly as they did before
+                    # the fault field existed: the on-disk cache keys of
+                    # every existing result stay valid
+                    continue
+                payload[f.name] = value
             blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
                               default=list)
             cached = hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -155,6 +166,10 @@ class RunSpec:
         if self.bus_kind is not None:
             overrides["bus_kind"] = self.bus_kind
         return overrides or None
+
+    def fault_mapping(self) -> Optional[dict]:
+        """``faults`` as a plain dict for MPIWorld, or None when fault-free."""
+        return thaw_mapping(self.faults) or None
 
     def describe(self) -> str:
         """Short human label for logs and progress lines."""
