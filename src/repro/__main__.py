@@ -21,6 +21,8 @@ Usage::
         --network myrinet                # lossy wire, GM ack/resend absorbs
     python -m repro faults               # degradation curves per fabric
     python -m repro report --run-timeout 120   # livelock guard per spec
+    python -m repro perf                 # pinned perf suite -> BENCH_<rev>.json
+    python -m repro perf --quick --compare BENCH_base.json --fail-below 0.75
 
 Installed as the ``repro`` console script as well.
 """
@@ -41,7 +43,7 @@ def _cmd_list() -> int:
     print("tables:  " + " ".join(sorted(TABLES)))
     print("apps:    " + " ".join(sorted(PROBLEMS)))
     print("other:   calibration  loggp  sensitivity  validate  report  "
-          "matrix  faults  bench <name>  profile <app.class> <nprocs>")
+          "matrix  faults  perf  bench <name>  profile <app.class> <nprocs>")
     return 0
 
 
@@ -179,6 +181,38 @@ def _cmd_trace(ns) -> int:
     return 0
 
 
+def _cmd_perf(ns) -> int:
+    """``repro perf``: run the pinned suite and write a BENCH report."""
+    import os
+
+    from repro import perf
+
+    targets = perf.suite_by_name(quick=ns.quick)
+    rev = perf.git_rev()
+    baseline_rev = perf.git_rev(ns.baseline_src) if ns.baseline_src else None
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    measured = perf.run_suite(
+        src_dir, baseline_src=ns.baseline_src, targets=targets,
+        repeats=ns.repeats,
+        progress=lambda msg: print(f"[perf] {msg}", flush=True))
+    record = perf.bench_record(
+        measured["current"], baseline=measured.get("baseline"),
+        rev=rev, baseline_rev=baseline_rev, repeats=ns.repeats)
+    comparison = None
+    if ns.compare:
+        comparison = perf.compare_totals(record, perf.load_bench(ns.compare))
+    out = ns.out if ns.out != "trace.json" else perf.bench_filename(rev)
+    perf.write_bench(record, out)
+    print(perf.render_report(record, comparison))
+    print(f"wrote {out}")
+    if comparison is not None and ns.fail_below is not None:
+        if comparison["ratio"] < ns.fail_below:
+            print(f"FAIL: events/sec ratio {comparison['ratio']:.3f} "
+                  f"below threshold {ns.fail_below}")
+            return 1
+    return 0
+
+
 def main(argv=None) -> int:
     """Parse arguments and dispatch to the requested artifact."""
     parser = argparse.ArgumentParser(
@@ -186,7 +220,7 @@ def main(argv=None) -> int:
         description="Regenerate artifacts from Liu et al. (SC'03) in simulation.")
     parser.add_argument("target", help="figN | tableN | calibration | loggp | "
                                        "sensitivity | profile | trace | "
-                                       "matrix | faults | bench | list")
+                                       "matrix | faults | perf | bench | list")
     parser.add_argument("args", nargs="*", help="extra arguments (profile: "
                                                 "app.class nprocs; trace: "
                                                 "pingpong | figN | app.class; "
@@ -234,6 +268,25 @@ def main(argv=None) -> int:
                         metavar="N", dest="fault_seed",
                         help="seed for the deterministic fault roll stream "
                              "(shorthand for --fault seed=N)")
+    parser.add_argument("--quick", action="store_true",
+                        help="perf: reduced CI smoke suite instead of the "
+                             "full pinned suite")
+    parser.add_argument("--repeats", type=int, default=2, metavar="N",
+                        help="perf: interleaved measurement passes per tree, "
+                             "best-of fold (default: 2)")
+    parser.add_argument("--baseline-src", default=None, metavar="DIR",
+                        dest="baseline_src",
+                        help="perf: also measure the source tree rooted at "
+                             "DIR (a 'src' directory, e.g. a git worktree's) "
+                             "interleaved with the current one")
+    parser.add_argument("--compare", default=None, metavar="BENCH.json",
+                        help="perf: diff the new report against a previously "
+                             "written BENCH file")
+    parser.add_argument("--fail-below", type=float, default=None,
+                        metavar="RATIO", dest="fail_below",
+                        help="perf: with --compare, exit non-zero when the "
+                             "events/sec ratio drops below RATIO "
+                             "(e.g. 0.75 = fail on >25%% regression)")
     parser.add_argument("--run-timeout", type=float, default=None,
                         metavar="SECONDS", dest="run_timeout",
                         help="per-spec wall-clock budget; a run exceeding it "
@@ -247,7 +300,11 @@ def main(argv=None) -> int:
     if ns.target.lower() != "list":
         if ns.metrics:
             print()
-            print(runtime.metrics().summary(title="run metrics"))
+            reg = runtime.metrics()
+            print(reg.summary(title="run metrics"))
+            engine_line = reg.engine_summary()
+            if engine_line:
+                print(engine_line)
         print(f"[cache] {runtime.cache_stats()}")
     return rc
 
@@ -265,6 +322,8 @@ def _dispatch(ns, parser) -> int:
         return 0
     if t == "bench":
         return _cmd_bench(ns)
+    if t == "perf":
+        return _cmd_perf(ns)
     if t == "faults":
         from repro.experiments.degradation import degradation_report
 

@@ -1,22 +1,45 @@
-"""Event heap, simulated clock and the base Event types.
+"""Event core: simulated clock, ready queues and the base Event types.
 
 The engine is deliberately minimal: an :class:`Event` is a one-shot
 triggerable cell with callbacks; the :class:`Simulator` pops scheduled
-events off a heap in ``(time, priority, seq)`` order and fires them.
-Generator processes (see :mod:`repro.core.process`) are built on top by
+entries in ``(time, priority, seq)`` order and fires them.  Generator
+processes (see :mod:`repro.core.process`) are built on top by
 registering a resume callback on whatever event they yield.
+
+Hot-path design (see DESIGN.md §9):
+
+* Entries live in **three queues**: a binary heap for future events and
+  two FIFO deques — one per priority class — for entries scheduled with
+  ``delay == 0`` while the run loop is active.  A zero-delay entry is
+  always stamped with the *current* time and the next ``seq``, so each
+  deque is internally sorted and a three-way front comparison restores
+  the exact global ``(time, priority, seq)`` order the single heap used
+  to produce.  Roughly half of all events in an MPI simulation are
+  same-time handoffs (store puts, gate pulses, request completions);
+  they now bypass the ``heappush``/``heappop`` pair entirely.
+* :meth:`Simulator.schedule_at` schedules a **bare callable** instead of
+  an Event — no allocation, no callback list — used for pure delays
+  (:class:`Delay`) and internal wakeups.
+* The run loop is **inlined**: no per-event ``step()``/``peek()`` calls,
+  ``until``/deadline checks hoisted (``until`` defaults to ``+inf`` so
+  the horizon test is one float compare), and the wall-clock sampled
+  every 4096 events through a local counter.
+* Events store their first callback in a dedicated slot (``_cb1``) and
+  only allocate a list for the second and later — the overwhelmingly
+  common case is exactly one waiter.
 """
 
 from __future__ import annotations
 
-import heapq
 import time
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.core.metrics import MetricsRegistry
 from repro.core.tracing import Tracer
 
-__all__ = ["Simulator", "Event", "Timeout", "SimulationError",
+__all__ = ["Simulator", "Event", "Timeout", "Delay", "SimulationError",
            "set_wall_timeout", "get_wall_timeout"]
 
 
@@ -33,6 +56,8 @@ _WALL_TIMEOUT_S: Optional[float] = None
 
 #: how often (in processed events) the run loop samples the wall clock
 _WALL_CHECK_MASK = 0x0FFF
+
+_INF = float("inf")
 
 
 def set_wall_timeout(seconds: Optional[float]) -> None:
@@ -59,13 +84,19 @@ class Event:
     An event starts *pending*, becomes *triggered* when given a value (or
     an exception), and is *processed* once the simulator has fired its
     callbacks.  Processes wait on events by yielding them.
+
+    ``processed`` is the authoritative "already fired" flag; the first
+    callback lives in ``_cb1`` and ``callbacks`` is lazily allocated for
+    the second and later waiters.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "processed", "name")
+    __slots__ = ("sim", "_cb1", "callbacks", "_value", "_exc",
+                 "triggered", "processed", "name")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
-        self.callbacks: Optional[list] = []
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self.callbacks: Optional[list] = None
         self._value: Any = None
         self._exc: Optional[BaseException] = None
         self.triggered = False
@@ -99,6 +130,34 @@ class Event:
         self.sim._schedule(self, delay, priority)
         return self
 
+    def succeed_now(self, value: Any = None) -> "Event":
+        """Trigger *and deliver* this event synchronously, right now.
+
+        For same-timestamp completion chains (NIC completion -> handle
+        done -> request done) where every waiter is already attached:
+        delivers the same value at the same simulated time as
+        ``succeed()`` with no delay, but without a trip through the
+        event queue — the callbacks run inside the caller's dispatch
+        instead of in a later same-time slot.  Late waiters still see
+        the value via ``add_callback``'s processed-event path.  Not
+        counted in ``events_processed`` (no engine entry exists).
+        """
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self.triggered = True
+        self._value = value
+        self.processed = True
+        cb = self._cb1
+        if cb is not None:
+            self._cb1 = None
+            cb(self)
+        cbs = self.callbacks
+        if cbs is not None:
+            self.callbacks = None
+            for fn in cbs:
+                fn(self)
+        return self
+
     def fail(self, exc: BaseException, delay: float = 0.0, priority: int = PRIO_NORMAL) -> "Event":
         """Trigger this event with an exception after ``delay`` sim-time."""
         if self.triggered:
@@ -112,13 +171,46 @@ class Event:
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run ``fn(event)`` when the event fires (immediately if fired)."""
-        if self.callbacks is None:
+        if self.processed:
             # Already processed: fire synchronously so late waiters still
             # observe the value.  This is what lets processes yield
             # already-completed events (e.g. a finished transfer).
             fn(self)
+        elif self._cb1 is None:
+            self._cb1 = fn
         else:
-            self.callbacks.append(fn)
+            cbs = self.callbacks
+            if cbs is None:
+                self.callbacks = [fn]
+            else:
+                cbs.append(fn)
+
+    def remove_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Best-effort detach of a pending callback (no-op if absent)."""
+        if self._cb1 is fn:
+            cbs = self.callbacks
+            if cbs:
+                self._cb1 = cbs.pop(0)
+            else:
+                self._cb1 = None
+        elif self.callbacks:
+            try:
+                self.callbacks.remove(fn)
+            except ValueError:
+                pass
+
+    def _fire(self) -> None:
+        """Deliver this event to its waiters (engine-internal)."""
+        self.processed = True
+        cb = self._cb1
+        if cb is not None:
+            self._cb1 = None
+            cb(self)
+        cbs = self.callbacks
+        if cbs is not None:
+            self.callbacks = None
+            for fn in cbs:
+                fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
@@ -134,11 +226,29 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None, priority: int = PRIO_NORMAL):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
+        super().__init__(sim)
         self.delay = delay
         self.triggered = True
         self._value = value
         sim._schedule(self, delay, priority)
+
+
+class Delay:
+    """A pure pause a process may yield: no Event, no callback list.
+
+    ``yield Delay(d)`` resumes the yielding process ``d`` microseconds
+    later with value ``None``.  Semantically identical to yielding
+    ``sim.timeout(d)`` (same priority class, same seq consumption, hence
+    bit-identical ordering) but skips the Event allocation and callback
+    registration — the engine schedules the process's resume bound
+    method directly.  Only a *process* may yield one; it has no value,
+    cannot fail and cannot be waited on by multiple waiters.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
 
 
 class Simulator:
@@ -147,13 +257,18 @@ class Simulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list = []
+        #: same-time ready queues (urgent / normal), only fed while running
+        self._ready_u: deque = deque()
+        self._ready_n: deque = deque()
         self._seq: int = 0
         self._nprocessed: int = 0
+        self._npending: int = 0
+        self._peak_pending: int = 0
         self._running = False
         #: user-attachable context (the MPIWorld stores itself here)
         self.context: dict = {}
         #: per-run trace collector; off by default — hot paths guard
-        #: every emission with a single ``tracer.enabled`` check
+        #: every emission with a single cached ``tracer.enabled`` check
         self.tracer = Tracer()
         #: per-run named counters/gauges/histograms
         self.metrics = MetricsRegistry()
@@ -173,80 +288,204 @@ class Simulator:
 
     # -- scheduling ---------------------------------------------------
     def _schedule(self, event: Event, delay: float, priority: int = PRIO_NORMAL) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+        """Queue ``event`` to fire at ``now + delay`` (engine-internal)."""
+        self._seq = seq = self._seq + 1
+        self._npending = n = self._npending + 1
+        if n > self._peak_pending:
+            self._peak_pending = n
+        if delay == 0.0 and self._running:
+            if priority == PRIO_NORMAL:
+                self._ready_n.append((self.now, PRIO_NORMAL, seq, event))
+                return
+            if priority == PRIO_URGENT:
+                self._ready_u.append((self.now, PRIO_URGENT, seq, event))
+                return
+        heappush(self._heap, (self.now + delay, priority, seq, event))
+
+    def schedule_at(self, delay: float, fn: Callable[[], None],
+                    priority: int = PRIO_NORMAL) -> None:
+        """Schedule a bare callable — no Event allocated, not cancellable.
+
+        ``fn()`` is invoked (with no arguments) when the entry fires; it
+        still consumes one ``seq`` and counts as one processed event, so
+        swapping a Timeout for ``schedule_at`` changes neither ordering
+        nor ``events_processed``.
+        """
+        if delay < 0:
+            raise ValueError(f"negative schedule_at delay: {delay}")
+        self._seq = seq = self._seq + 1
+        self._npending = n = self._npending + 1
+        if n > self._peak_pending:
+            self._peak_pending = n
+        if delay == 0.0 and self._running:
+            if priority == PRIO_NORMAL:
+                self._ready_n.append((self.now, PRIO_NORMAL, seq, fn))
+                return
+            if priority == PRIO_URGENT:
+                self._ready_u.append((self.now, PRIO_URGENT, seq, fn))
+                return
+        heappush(self._heap, (self.now + delay, priority, seq, fn))
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or +inf if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next scheduled entry, or +inf if none."""
+        best = self._heap[0][0] if self._heap else _INF
+        if self._ready_u and self._ready_u[0][0] < best:
+            best = self._ready_u[0][0]
+        if self._ready_n and self._ready_n[0][0] < best:
+            best = self._ready_n[0][0]
+        return best
+
+    def _pop_next(self):
+        """Remove and return the globally next entry (engine-internal)."""
+        ru, rn, heap = self._ready_u, self._ready_n, self._heap
+        if ru:
+            e = ru[0]
+            src = 0
+            if rn and rn[0] < e:
+                e = rn[0]
+                src = 1
+            if heap and heap[0] < e:
+                return heappop(heap)
+            if src == 0:
+                return ru.popleft()
+            return rn.popleft()
+        if rn:
+            e = rn[0]
+            if heap and heap[0] < e:
+                return heappop(heap)
+            return rn.popleft()
+        return heappop(heap)
 
     def step(self) -> None:
-        """Process the single next event."""
-        t, _prio, _seq, event = heapq.heappop(self._heap)
+        """Process the single next entry."""
+        t, _prio, _seq, obj = self._pop_next()
         if t < self.now - 1e-9:
             raise SimulationError("time went backwards")
         self.now = t
-        callbacks = event.callbacks
-        event.callbacks = None
-        event.processed = True
+        self._npending -= 1
         self._nprocessed += 1
-        if callbacks:
-            for fn in callbacks:
-                fn(event)
+        if isinstance(obj, Event):
+            obj._fire()
+        else:
+            obj()
 
     def run(self, until: Optional[float] = None, until_event: Optional[Event] = None) -> Any:
-        """Run until the heap drains, ``until`` time, or ``until_event`` fires.
+        """Run until the queues drain, ``until`` time, or ``until_event`` fires.
 
         Returns ``until_event.value`` when given, else ``None``.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
-        deadline = (None if _WALL_TIMEOUT_S is None
-                    else time.monotonic() + _WALL_TIMEOUT_S)
+        wall = _WALL_TIMEOUT_S
+        deadline = _INF if wall is None else time.monotonic() + wall
+        horizon = _INF if until is None else until
+        heap = self._heap
+        ru = self._ready_u
+        rn = self._ready_n
+        pop_heap = heappop
+        monotonic = time.monotonic
+        n = self._nprocessed
+        stop: Optional[list] = None
+        if until_event is not None:
+            stop = []
+            until_event.add_callback(stop.append)
         try:
-            if until_event is not None:
-                stop = []
-                until_event.add_callback(lambda ev: stop.append(ev))
-                while not stop:
-                    if not self._heap:
+            while True:
+                if stop is not None:
+                    if stop:
+                        return until_event.value
+                    if not (ru or rn or heap):
                         raise SimulationError(
                             f"deadlock: event heap drained at t={self.now:.3f} "
                             f"while waiting for {until_event!r}"
                         )
-                    if until is not None and self.peek() > until:
+                elif not (ru or rn or heap):
+                    break
+                # -- select the globally next entry (time, prio, seq) --
+                if ru:
+                    e = ru[0]
+                    src = 0
+                    if rn and rn[0] < e:
+                        e = rn[0]
+                        src = 1
+                    if heap and heap[0] < e:
+                        e = heap[0]
+                        src = 2
+                    if src == 0:
+                        ru.popleft()
+                    elif src == 1:
+                        rn.popleft()
+                    else:
+                        pop_heap(heap)
+                elif rn:
+                    e = rn[0]
+                    if heap and heap[0] < e:
+                        e = pop_heap(heap)
+                    else:
+                        rn.popleft()
+                else:
+                    e = pop_heap(heap)
+                t = e[0]
+                if t > horizon:
+                    # push back: the entry has not fired
+                    heappush(heap, e)
+                    if stop is not None:
                         raise SimulationError(
                             f"simulation horizon {until} reached while waiting "
                             f"for {until_event!r}"
                         )
-                    if deadline is not None:
-                        self._check_wall(deadline)
-                    self.step()
-                return until_event.value
-            while self._heap:
-                if until is not None and self.peek() > until:
                     break
-                if deadline is not None:
-                    self._check_wall(deadline)
-                self.step()
+                self.now = t
+                if not (n & _WALL_CHECK_MASK) and monotonic() > deadline:
+                    heappush(heap, e)  # not fired; keep state consistent
+                    raise SimulationError(
+                        f"wall-clock timeout: run exceeded {wall}s "
+                        f"(sim t={self.now:.3f}us, {n} events)")
+                n += 1
+                self._npending -= 1
+                obj = e[3]
+                if isinstance(obj, Event):
+                    obj.processed = True
+                    cb = obj._cb1
+                    if cb is not None:
+                        obj._cb1 = None
+                        cb(obj)
+                    cbs = obj.callbacks
+                    if cbs is not None:
+                        obj.callbacks = None
+                        for fn in cbs:
+                            fn(obj)
+                else:
+                    obj()
             if until is not None and self.now < until:
                 self.now = until
             return None
         finally:
+            self._nprocessed = n
             self._running = False
-
-    def _check_wall(self, deadline: float) -> None:
-        """Sample the wall clock every few thousand events; fail loudly."""
-        if (self._nprocessed & _WALL_CHECK_MASK) == 0 and \
-                time.monotonic() > deadline:
-            raise SimulationError(
-                f"wall-clock timeout: run exceeded {_WALL_TIMEOUT_S}s "
-                f"(sim t={self.now:.3f}us, {self._nprocessed} events)")
+            # anything fast-pathed into the ready deques but unfired
+            # (horizon stop) must survive into a future run() call
+            if ru or rn:
+                while ru:
+                    heappush(heap, ru.popleft())
+                while rn:
+                    heappush(heap, rn.popleft())
 
     @property
     def events_processed(self) -> int:
-        """Total events processed — useful for performance diagnostics."""
+        """Total events processed — useful for performance diagnostics.
+
+        Updated when ``run()`` returns (the loop keeps a local counter);
+        mid-run callbacks should not rely on it being current.
+        """
         return self._nprocessed
 
+    @property
+    def peak_queue_depth(self) -> int:
+        """High-water mark of simultaneously pending entries."""
+        return self._peak_pending
+
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<Simulator t={self.now:.3f} pending={len(self._heap)}>"
+        pending = len(self._heap) + len(self._ready_u) + len(self._ready_n)
+        return f"<Simulator t={self.now:.3f} pending={pending}>"

@@ -48,7 +48,15 @@ METRIC_NAMES = (
     "hw.sram.busy_us", "hw.wire.busy_us", "hw.wire.bytes",
     "hw.switch.busy_us", "hw.switch.bytes",
     "engine.events", "engine.sim_time_us",  # gauges
+    "engine.events_total", "engine.wall_s",  # additive counters
+    "engine.events_executed",  # executor-level twin (cache hits excluded)
+    "engine.peak_queue_depth",               # histogram (max = deepest)
 )
+
+
+#: precomputed bucket labels, indexed by ``int(value).bit_length()``
+#: (index 0 = the sub-1 bucket); covers anything a simulation can emit
+_BUCKET_LABELS = ("0",) + tuple(f"2^{k}" for k in range(128))
 
 
 def _bucket(value: float) -> str:
@@ -56,7 +64,7 @@ def _bucket(value: float) -> str:
     v = int(value)
     if v < 1:
         return "0"
-    return f"2^{v.bit_length() - 1}"
+    return _BUCKET_LABELS[v.bit_length()]
 
 
 class MetricsRegistry:
@@ -90,6 +98,29 @@ class MetricsRegistry:
             h["max"] = float(value)
         b = _bucket(value)
         h["buckets"][b] = h["buckets"].get(b, 0) + 1
+
+    def observe_n(self, name: str, value: float, n: int) -> None:
+        """Record ``n`` identical observations of ``value`` at once.
+
+        Exactly equivalent to ``n`` calls of :meth:`observe` (message
+        sizes are integers, so the batched ``sum`` update is exact);
+        used by hot paths that tally locally and publish at end of run.
+        """
+        if n <= 0:
+            return
+        h = self.histograms.get(name)
+        if h is None:
+            h = {"count": 0, "sum": 0.0, "min": float(value),
+                 "max": float(value), "buckets": {}}
+            self.histograms[name] = h
+        h["count"] += n
+        h["sum"] += value * n
+        if value < h["min"]:
+            h["min"] = float(value)
+        if value > h["max"]:
+            h["max"] = float(value)
+        b = _bucket(value)
+        h["buckets"][b] = h["buckets"].get(b, 0) + n
 
     # -- access ---------------------------------------------------------
     def counter(self, name: str, default: float = 0.0) -> float:
@@ -159,6 +190,33 @@ class MetricsRegistry:
         self.histograms.clear()
 
     # -- rendering ------------------------------------------------------
+    def engine_summary(self) -> Optional[str]:
+        """One-line event-core throughput digest, or None if unrecorded.
+
+        Uses the additive ``engine.events_total`` / ``engine.wall_s``
+        counters, so after a sweep the events/sec shown is the true
+        aggregate across every simulated world.  When some payloads came
+        from the result cache, the rate covers only the events that were
+        actually simulated this run (``engine.events_executed``).
+        """
+        events = self.counters.get("engine.events_total")
+        if not events:
+            return None
+        line = f"engine: {int(events):,} events"
+        wall = self.counters.get("engine.wall_s", 0.0)
+        executed = self.counters.get("engine.events_executed", events)
+        if wall > 0 and executed:
+            rate = executed / wall
+            if executed == events:
+                line += f" in {wall:.3f}s wall ({rate:,.0f} ev/s)"
+            else:
+                line += (f" ({int(executed):,} simulated in {wall:.3f}s "
+                         f"wall, {rate:,.0f} ev/s)")
+        h = self.histograms.get("engine.peak_queue_depth")
+        if h:
+            line += f", peak queue depth {int(h['max'])}"
+        return line
+
     def summary(self, title: Optional[str] = None) -> str:
         """Aligned plain-text dump of everything recorded."""
         lines = []

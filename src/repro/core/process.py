@@ -5,13 +5,20 @@ objects.  When a yielded event fires, the generator is resumed with the
 event's value (or the event's exception is thrown into it).  A Process is
 itself an Event that fires with the generator's return value, so
 processes can be joined simply by yielding them.
+
+Hot-path notes: yielding a :class:`~repro.core.engine.Delay` skips the
+Event machinery entirely — the engine schedules the process's
+``_dresume`` bound method directly, so a pure pause costs one heap (or
+ready-queue) entry and nothing else.  The two resume entry points
+(`_resume` for events, `_dresume` for delays) duplicate a few lines on
+purpose; they are the single hottest call sites in the simulator.
 """
 
 from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
-from repro.core.engine import Event, SimulationError, Simulator
+from repro.core.engine import Delay, Event, SimulationError, Simulator
 
 __all__ = ["Process", "ProcessKilled"]
 
@@ -35,9 +42,8 @@ class Process(Event):
         self.generator = generator
         self._waiting_on: Optional[Event] = None
         self._alive = True
-        # Kick off on an immediate timeout so creation order == start order.
-        boot = sim.timeout(0.0)
-        boot.add_callback(self._resume)
+        # Kick off on an immediate wakeup so creation order == start order.
+        sim.schedule_at(0.0, self._dresume)
         tracer = sim.tracer
         if tracer.enabled:
             tracer.begin(sim.now, "engine", name, f"proc {name}")
@@ -60,11 +66,8 @@ class Process(Event):
             pass
         self._finish(exc=None, value=None, killed=True)
         # Make sure a pending event resume doesn't touch the dead process.
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        if target is not None and not target.processed:
+            target.remove_callback(self._resume)
 
     def _finish(self, exc: Optional[BaseException], value: Any, killed: bool = False) -> None:
         self._alive = False
@@ -79,38 +82,69 @@ class Process(Event):
         else:
             self.succeed(value)
 
-    # -- engine callback ----------------------------------------------
+    # -- engine callbacks ---------------------------------------------
     def _resume(self, event: Event) -> None:
+        """Resume after a yielded *event* fired (value or exception)."""
         if not self._alive:
             return
         self._waiting_on = None
         gen = self.generator
         try:
-            if event.exception is not None:
-                nxt = gen.throw(event.exception)
-            else:
+            exc = event._exc
+            if exc is None:
                 nxt = gen.send(event._value)
+            else:
+                nxt = gen.throw(exc)
         except StopIteration as stop:
             self._finish(None, stop.value)
             return
-        except BaseException as exc:  # noqa: BLE001 - propagate via event
-            self._finish(exc, None)
+        except BaseException as caught:  # noqa: BLE001 - propagate via event
+            self._finish(caught, None)
             return
-        if not isinstance(nxt, Event):
-            err = SimulationError(
-                f"process {self.name!r} yielded {nxt!r}; processes must yield "
-                "Event objects (use `yield from` to call sub-coroutines)"
-            )
-            try:
-                gen.throw(err)
-            except BaseException as exc:  # noqa: BLE001
-                self._finish(exc if not isinstance(exc, StopIteration) else None,
-                             getattr(exc, "value", None))
-                return
-            self._finish(err, None)
+        if nxt.__class__ is Delay:
+            self.sim.schedule_at(nxt.delay, self._dresume)
             return
-        self._waiting_on = nxt
-        nxt.add_callback(self._resume)
+        if isinstance(nxt, Event):
+            self._waiting_on = nxt
+            nxt.add_callback(self._resume)
+            return
+        self._bad_yield(nxt)
+
+    def _dresume(self) -> None:
+        """Resume after a pure :class:`Delay` elapsed (value is None)."""
+        if not self._alive:
+            return
+        gen = self.generator
+        try:
+            nxt = gen.send(None)
+        except StopIteration as stop:
+            self._finish(None, stop.value)
+            return
+        except BaseException as caught:  # noqa: BLE001 - propagate via event
+            self._finish(caught, None)
+            return
+        if nxt.__class__ is Delay:
+            self.sim.schedule_at(nxt.delay, self._dresume)
+            return
+        if isinstance(nxt, Event):
+            self._waiting_on = nxt
+            nxt.add_callback(self._resume)
+            return
+        self._bad_yield(nxt)
+
+    def _bad_yield(self, nxt: Any) -> None:
+        """Cold path: the generator yielded something non-waitable."""
+        err = SimulationError(
+            f"process {self.name!r} yielded {nxt!r}; processes must yield "
+            "Event objects (use `yield from` to call sub-coroutines)"
+        )
+        try:
+            self.generator.throw(err)
+        except BaseException as exc:  # noqa: BLE001
+            self._finish(exc if not isinstance(exc, StopIteration) else None,
+                         getattr(exc, "value", None))
+            return
+        self._finish(err, None)
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "alive" if self._alive else "done"

@@ -53,9 +53,10 @@ class Resource:
         self.name = name
         self.in_use = 0
         self._waiters: deque[Event] = deque()
+        self._acq_name = name + ".acquire"
 
     def acquire(self) -> Event:
-        ev = self.sim.event(f"{self.name}.acquire")
+        ev = Event(self.sim, self._acq_name)
         if self.in_use < self.capacity and not self._waiters:
             self.in_use += 1
             ev.succeed(priority=PRIO_URGENT)
@@ -100,6 +101,7 @@ class Store:
         self.name = name
         self._items: deque = deque()
         self._getters: deque[Event] = deque()
+        self._get_name = name + ".get"
 
     def put(self, item: Any) -> None:
         if self._getters:
@@ -108,7 +110,7 @@ class Store:
             self._items.append(item)
 
     def get(self) -> Event:
-        ev = self.sim.event(f"{self.name}.get")
+        ev = Event(self.sim, self._get_name)
         if self._items:
             ev.succeed(self._items.popleft(), priority=PRIO_URGENT)
         else:
@@ -154,6 +156,7 @@ class FifoServer:
         self.bw = float(bw_bytes_per_us)
         self.overhead = float(overhead_us)
         self.name = name
+        self._ev_name = name + ".xfer"
         self.next_free: float = 0.0
         self.busy_time: float = 0.0
         self.transfers: int = 0
@@ -176,7 +179,7 @@ class FifoServer:
         self.busy_time += dur
         self.transfers += 1
         self.bytes_moved += int(nbytes)
-        ev = self.sim.event(f"{self.name}.xfer")
+        ev = Event(self.sim, self._ev_name)
         ev.succeed(delay=done - now)
         return ev
 
@@ -236,13 +239,14 @@ class Gate:
         self.name = name
         self._open = open_
         self._waiters: List[Event] = []
+        self._ev_name = name + ".wait"
 
     @property
     def is_open(self) -> bool:
         return self._open
 
     def wait(self) -> Event:
-        ev = self.sim.event(f"{self.name}.wait")
+        ev = Event(self.sim, self._ev_name)
         if self._open:
             ev.succeed(priority=PRIO_URGENT)
         else:

@@ -56,12 +56,30 @@ class TraceRecord:
 
 
 class Tracer:
-    """Append-only trace collector with category filtering."""
+    """Append-only trace collector with category filtering.
+
+    Hot call sites read the **cached predicates** — ``wants_hw``,
+    ``wants_net``, ``wants_retx``, ``wants_proto``, ``wants_mpi``,
+    ``wants_engine`` — which are plain booleans recomputed whenever the
+    enabled state or category filter changes.  The disabled case then
+    costs exactly one attribute load, with no method call and no set
+    membership test.
+    """
 
     def __init__(self, enabled: bool = False, categories: Optional[set] = None) -> None:
         self.enabled = enabled
         self.categories = categories  # None == all
         self.records: List[TraceRecord] = []
+        self._refresh_predicates()
+
+    def _refresh_predicates(self) -> None:
+        """Recompute the per-category cached booleans."""
+        self.wants_engine = self.wants("engine")
+        self.wants_hw = self.wants("hw")
+        self.wants_net = self.wants("net")
+        self.wants_retx = self.wants("net.retx")
+        self.wants_proto = self.wants("proto")
+        self.wants_mpi = self.wants("mpi")
 
     # -- control --------------------------------------------------------
     def enable(self, categories: Optional[set] = None) -> "Tracer":
@@ -69,14 +87,17 @@ class Tracer:
         self.enabled = True
         if categories is not None:
             self.categories = set(categories)
+        self._refresh_predicates()
         return self
 
     def disable(self) -> None:
         self.enabled = False
+        self._refresh_predicates()
 
     def wants(self, category: str) -> bool:
         """Would a record in ``category`` be kept?  Lets expensive call
-        sites (per-stage pipeline walks) skip argument construction."""
+        sites (per-stage pipeline walks) skip argument construction.
+        Hot paths should read the cached ``wants_*`` attributes instead."""
         if not self.enabled:
             return False
         return self.categories is None or category in self.categories

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.engine import Simulator, Timeout
+from repro.core.engine import Delay, Simulator
 
 __all__ = ["MemcpyModel", "HostCPU"]
 
@@ -82,18 +82,21 @@ class HostCPU:
         self.compute_time_us: float = 0.0
         self.name = f"cpu{node_id}.{core_id}"
 
-    # Both helpers return Timeout events the rank process must yield.
-    def compute(self, us: float) -> Timeout:
+    # Both helpers return Delay pauses the rank process must yield.
+    # (A Delay schedules exactly like the Timeout it replaced — same
+    # priority class, same seq consumption — but skips the Event
+    # allocation; these two calls dominate event creation in app runs.)
+    def compute(self, us: float) -> Delay:
         """Charge ``us`` microseconds of application computation."""
         self.compute_time_us += us
-        return self.sim.timeout(us)
+        return Delay(us)
 
-    def comm(self, us: float) -> Timeout:
+    def comm(self, us: float) -> Delay:
         """Charge ``us`` microseconds of MPI-library (host overhead) time."""
         self.comm_time_us += us
-        return self.sim.timeout(us)
+        return Delay(us)
 
-    def comm_copy(self, nbytes: int, working_set: int | None = None) -> Timeout:
+    def comm_copy(self, nbytes: int, working_set: int | None = None) -> Delay:
         """Charge a host memory copy performed by the MPI library."""
         return self.comm(self.memcpy.copy_time(nbytes, working_set))
 

@@ -181,13 +181,18 @@ class PinDownCache:
 
     def lookup(self, buf: Buffer) -> float:
         """Cost (µs) to ensure ``buf`` is registered; updates the cache."""
+        pages = self._pages
+        move_to_end = pages.move_to_end
         missing = 0
-        for page in buf.pages():
-            if page in self._pages:
-                self._pages.move_to_end(page)
+        addr = buf.addr
+        first = addr // PAGE_SIZE
+        last = (addr + max(buf.nbytes, 1) - 1) // PAGE_SIZE
+        for page in range(first, last + 1):
+            if page in pages:
+                move_to_end(page)
             else:
                 missing += 1
-                self._pages[page] = None
+                pages[page] = None
         cost = 0.0
         if missing:
             self.misses += 1
@@ -196,8 +201,8 @@ class PinDownCache:
             self.hits += 1
             cost += self.hit_us
         # Lazy de-registration of LRU pages beyond capacity.
-        while len(self._pages) * PAGE_SIZE > self.capacity_bytes:
-            self._pages.popitem(last=False)
+        while len(pages) * PAGE_SIZE > self.capacity_bytes:
+            pages.popitem(last=False)
             self.evicted_pages += 1
             cost += self.deregister_page_us
         return cost
@@ -237,15 +242,21 @@ class NicTlb:
         switching to a batched fill rate (one trap maps the whole run of
         pages) — so message-sized buffers pay dearly (Figs. 7-8) while
         gigantic working sets stay affordable."""
+        tlb = self._tlb
+        move_to_end = tlb.move_to_end
         missing = 0
-        for page in buf.pages():
-            if page in self._tlb:
-                self._tlb.move_to_end(page)
+        addr = buf.addr
+        first = addr // PAGE_SIZE
+        last = (addr + max(buf.nbytes, 1) - 1) // PAGE_SIZE
+        for page in range(first, last + 1):
+            if page in tlb:
+                move_to_end(page)
             else:
                 missing += 1
-                self._tlb[page] = None
-        while len(self._tlb) > self.entries:
-            self._tlb.popitem(last=False)
+                tlb[page] = None
+        entries = self.entries
+        while len(tlb) > entries:
+            tlb.popitem(last=False)
         if missing:
             self.misses += 1
             capped = min(missing, self.bulk_threshold_pages)

@@ -129,6 +129,31 @@ class PipelinePath:
         self.split_stage = split_stage
         self.messages = 0
         self.bytes_moved = 0
+        # flattened per-stage constants for the hot walk (stages are
+        # fixed at construction, and FifoServer.bw/.overhead are only
+        # ever written in __init__, so the effective overhead and the
+        # reciprocal bandwidth can be resolved once here; only
+        # server.next_free and the stats mutate at run time, and those
+        # are reached through the server reference)
+        self._flat = []
+        for s in self.stages:
+            srv = s.server
+            if srv is None:
+                self._flat.append((None, 0.0, 0.0, s.latency_us,
+                                   s.cut_through, s.trailing_us, 0.0))
+            else:
+                ov = srv.overhead if s.overhead_us is None else s.overhead_us
+                self._flat.append((srv, ov, s.first_chunk_extra_us,
+                                   s.latency_us, s.cut_through,
+                                   s.trailing_us, 1.0 / srv.bw))
+        #: memoized _flat sub-slices — the destination-phase walk asks
+        #: for the same (s_from, s_to) span once per chunk
+        self._spans: dict = {}
+        #: distinct shared servers on the source-side phase, for the
+        #: injector's horizon scan (see _SendJob.horizon_time)
+        end = len(self.stages) if split_stage is None else split_stage + 1
+        self._src_servers = [s.server for s in self.stages[:end]
+                             if s.server is not None]
 
     def walk_range(self, s_from: int, s_to: int, entries: List[list],
                    local_stage: Optional[int] = None) -> float:
@@ -139,15 +164,78 @@ class PipelinePath:
         ``local_stage`` (or 0.0 if that stage is outside the range).
         """
         tracer = self.sim.tracer
-        if tracer.enabled and tracer.wants("hw"):
+        if tracer.wants_hw:
             return self._walk_range_traced(s_from, s_to, entries, local_stage, tracer)
+        # Inlined Stage.serve: this double loop runs O(stages x chunks)
+        # for every message in the simulation, so the stage arithmetic is
+        # open-coded here with local variables (serve() remains the
+        # reference implementation and the traced path).  The common
+        # destination-phase walk has no local_stage to watch, so it gets
+        # its own loop without the per-stage index bookkeeping.
+        span = self._spans.get((s_from, s_to))
+        if span is None:
+            span = self._spans[(s_from, s_to)] = tuple(self._flat[s_from:s_to])
+        if local_stage is None:
+            for entry in entries:
+                head, tail, csize, first = entry
+                for srv, ov, extra, lat, cut, trail, inv_bw in span:
+                    if srv is None:
+                        head += lat
+                        tail += lat
+                        continue
+                    if first:
+                        ov += extra
+                    ser = csize * inv_bw
+                    nf = srv.next_free
+                    if cut:
+                        start = head if head > nf else nf
+                        occupied = start + ov + ser
+                        t2 = tail + ov
+                        head = start + ov + lat
+                        tail = (occupied if occupied > t2 else t2) + lat
+                    else:  # store-and-forward: wait for the full chunk
+                        start = tail if tail > nf else nf
+                        occupied = start + ov + ser
+                        head = start + ov + lat
+                        tail = occupied + lat
+                    srv.next_free = occupied + trail
+                    srv.busy_time += ov + ser + trail
+                    srv.transfers += 1
+                    srv.bytes_moved += csize
+                entry[0] = head
+                entry[1] = tail
+            return 0.0
         local_max = 0.0
         for entry in entries:
             head, tail, csize, first = entry
-            for s in range(s_from, s_to):
-                head, tail = self.stages[s].serve(head, tail, csize, first)
-                if local_stage is not None and s == local_stage and tail > local_max:
+            s = s_from
+            for srv, ov, extra, lat, cut, trail, inv_bw in span:
+                if srv is None:
+                    head += lat
+                    tail += lat
+                else:
+                    if first:
+                        ov += extra
+                    ser = csize * inv_bw
+                    nf = srv.next_free
+                    if cut:
+                        start = head if head > nf else nf
+                        occupied = start + ov + ser
+                        t2 = tail + ov
+                        head = start + ov + lat
+                        tail = (occupied if occupied > t2 else t2) + lat
+                    else:  # store-and-forward: wait for the full chunk
+                        start = tail if tail > nf else nf
+                        occupied = start + ov + ser
+                        head = start + ov + lat
+                        tail = occupied + lat
+                    srv.next_free = occupied + trail
+                    srv.busy_time += ov + ser + trail
+                    srv.transfers += 1
+                    srv.bytes_moved += csize
+                if s == local_stage and tail > local_max:
                     local_max = tail
+                s += 1
             entry[0] = head
             entry[1] = tail
         return local_max
@@ -196,7 +284,7 @@ class PipelinePath:
         self.messages += 1
         self.bytes_moved += nbytes
         tracer = self.sim.tracer
-        traced = tracer.enabled and tracer.wants("hw")
+        traced = tracer.wants_hw
         delivered = t0
         local_done = t0
         for i, csize in enumerate(sizes):

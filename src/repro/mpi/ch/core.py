@@ -383,9 +383,16 @@ class Ch3Device(MpiDevice):
     def waitall(self, reqs: Sequence[Request]):
         """Block until every request completes, driving progress."""
         if self.caps.progress == PROGRESS_NIC:
+            if len(reqs) == 1:  # blocking send/recv: the hottest shape
+                r = reqs[0]
+                if not r.completed:
+                    yield r.done
+                yield self.cpu.comm(self.channel.O_COMPLETE)
+                return
             pending = [r.done for r in reqs if not r.completed]
             if pending:
-                yield AllOf(self.sim, pending)
+                # a lone pending event needs no AllOf fan-in
+                yield pending[0] if len(pending) == 1 else AllOf(self.sim, pending)
             yield self.cpu.comm(self.channel.O_COMPLETE * max(1, len(reqs)))
             return
         pending = [r for r in reqs if not r.completed]

@@ -109,10 +109,14 @@ class Communicator:
         return req
 
     def _waitall(self, reqs: Sequence) -> list:
-        reqs = [r.active if isinstance(r, PersistentRequest) else r
-                for r in reqs]
-        if any(r is None for r in reqs):
-            raise RuntimeError("waiting on an inactive persistent request")
+        for r in reqs:
+            if isinstance(r, PersistentRequest):
+                reqs = [r.active if isinstance(r, PersistentRequest) else r
+                        for r in reqs]
+                if any(r is None for r in reqs):
+                    raise RuntimeError(
+                        "waiting on an inactive persistent request")
+                break
         yield from self.ep.device.waitall(reqs)
         return [r.status for r in reqs]
 

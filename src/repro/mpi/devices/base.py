@@ -15,7 +15,7 @@ overhead measurements fall out of the same accounting.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.engine import Simulator
 from repro.hardware.cpu import HostCPU
@@ -53,6 +53,11 @@ class MpiDevice:
         self.recorder = recorder
         self.options = dict(options or {})
         self.match = MatchEngine()
+        #: batched per-protocol tallies, published by :meth:`flush_metrics`
+        #: at end of run: proto -> [message count, byte total]
+        self._proto_counts: Dict[str, list] = {}
+        #: batched message-size tallies: nbytes -> count
+        self._size_counts: Dict[int, int] = {}
 
     # -- to be provided by subclasses (generator coroutines) ----------
     def isend(self, req: Request):
@@ -86,17 +91,35 @@ class MpiDevice:
 
         ``proto`` is one of ``eager``/``rndv``/``inline``/``shmem``; also
         emits the protocol-choice trace instant when tracing is on.
+        Tallies accumulate on the device and reach ``sim.metrics`` via
+        :meth:`flush_metrics` (called once per run by the world).
         """
-        m = self.sim.metrics
-        m.inc("mpi.msgs." + proto)
-        m.inc("mpi.bytes." + proto, req.nbytes)
-        m.observe("mpi.msg_size", req.nbytes)
+        nbytes = req.nbytes
+        tally = self._proto_counts.get(proto)
+        if tally is None:
+            self._proto_counts[proto] = [1, nbytes]
+        else:
+            tally[0] += 1
+            tally[1] += nbytes
+        sizes = self._size_counts
+        sizes[nbytes] = sizes.get(nbytes, 0) + 1
         tracer = self.sim.tracer
-        if tracer.enabled:
+        if tracer.wants_mpi:
             tracer.instant(self.sim.now, "mpi", f"rank{self.rank}",
-                           f"{proto} {req.nbytes}B -> r{req.peer}",
-                           data={"proto": proto, "nbytes": req.nbytes,
+                           f"{proto} {nbytes}B -> r{req.peer}",
+                           data={"proto": proto, "nbytes": nbytes,
                                  "peer": req.peer, "tag": req.tag})
+
+    def flush_metrics(self) -> None:
+        """Publish batched protocol tallies to ``sim.metrics``."""
+        m = self.sim.metrics
+        for proto, (nmsgs, nbytes) in self._proto_counts.items():
+            m.inc("mpi.msgs." + proto, nmsgs)
+            m.inc("mpi.bytes." + proto, nbytes)
+        self._proto_counts.clear()
+        for nbytes, n in self._size_counts.items():
+            m.observe_n("mpi.msg_size", nbytes, n)
+        self._size_counts.clear()
 
     def _recv_status(self, src: int, tag: int, nbytes: int) -> Status:
         return Status(source=src, tag=tag, nbytes=nbytes)

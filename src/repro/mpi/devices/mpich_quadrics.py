@@ -77,6 +77,8 @@ class TportsChannel(Channel):
             # dataclass + idempotent across ranks: every rank writes the
             # same value.
             object.__setattr__(self.params, "eager_bytes", int(eager))
+        #: this rank's NIC, resolved lazily (may not exist at init time)
+        self._nic = None
         super().__init__(core)
 
     def _build_caps(self) -> ChannelCaps:
@@ -117,7 +119,10 @@ class TportsChannel(Channel):
         cost = self.tp.tlb_cost(buf)
         if cost > 0:
             self.core.cpu.comm_time_us += cost  # host-side accounting
-            nic = self.fabric.nic(self.fabric.node_of(self.core.rank))
+            nic = self._nic
+            if nic is None:
+                fabric = self.fabric
+                nic = self._nic = fabric.nic(fabric.node_of(self.core.rank))
             yield nic.mproc.transfer(0, overhead=cost)
 
     def nic_send(self, req: Request) -> None:

@@ -29,7 +29,11 @@ class Request:
 
     def __init__(self, sim: Simulator, kind: str, rank: int, peer: int, tag: int,
                  ctx: int, nbytes: int, buf=None, payload=None) -> None:
-        if kind not in ("send", "recv"):
+        if kind == "send":
+            name = "req.send"
+        elif kind == "recv":
+            name = "req.recv"
+        else:
             raise ValueError(f"bad request kind {kind!r}")
         self.sim = sim
         self.kind = kind
@@ -42,7 +46,7 @@ class Request:
         self.payload = payload
         self.completed = False
         self.cancelled = False
-        self.done: Event = sim.event(f"req.{kind}")
+        self.done: Event = Event(sim, name)
         self.status: Optional[Status] = None
         self.user_data = None
 
@@ -55,7 +59,11 @@ class Request:
             raise RuntimeError(f"request {self!r} completed twice")
         self.completed = True
         self.status = status if status is not None else Status()
-        self.done.succeed(self.status)
+        # Completion is synchronous: it happens *at* the triggering
+        # occurrence (NIC callback, FIN arrival, buffered copy), not in
+        # a later same-timestamp queue slot.  Waiters attached later
+        # still observe it via the processed-event path.
+        self.done.succeed_now(self.status)
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "done" if self.completed else "pending"

@@ -21,7 +21,9 @@ Rank functions are generator coroutines taking the communicator::
 
 from __future__ import annotations
 
+import inspect
 import math
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -178,13 +180,26 @@ class MPIWorld:
         if self._ran:
             raise RuntimeError("an MPIWorld is single-shot; build a new one")
         self._ran = True
-        procs = [
-            self.sim.spawn(self._wrap(rank_fn, self.comms[r], args, kwargs or {}),
-                           name=f"rank{r}")
-            for r in range(self.nprocs)
-        ]
+        kwargs = kwargs or {}
+        # Generator rank functions are spawned directly: the extra
+        # ``_wrap`` delegation frame used to tax every single resume of
+        # every rank.  Anything else keeps the lazy-call wrapper.
+        if inspect.isgeneratorfunction(rank_fn):
+            procs = [
+                self.sim.spawn(rank_fn(self.comms[r], *args, **kwargs),
+                               name=f"rank{r}")
+                for r in range(self.nprocs)
+            ]
+        else:
+            procs = [
+                self.sim.spawn(self._wrap(rank_fn, self.comms[r], args, kwargs),
+                               name=f"rank{r}")
+                for r in range(self.nprocs)
+            ]
         done = AllOf(self.sim, procs)
+        t0 = time.perf_counter()
         returns = self.sim.run(until_event=done, until=until)
+        self._wall_s = time.perf_counter() - t0
         self._finalize_metrics()
         return WorldResult(elapsed_us=self.sim.now, returns=returns,
                            recorder=self.recorder, world=self,
@@ -200,6 +215,19 @@ class MPIWorld:
         m = self.sim.metrics
         m.set_gauge("engine.events", float(self.sim.events_processed))
         m.set_gauge("engine.sim_time_us", self.sim.now)
+        # additive twin of the engine.events gauge: survives
+        # MetricsRegistry.merge across the many worlds of a sweep
+        m.inc("engine.events_total", self.sim.events_processed)
+        # wall-clock spent inside Simulator.run for this world; additive,
+        # so events_total / wall_s is the aggregate events/sec of a sweep.
+        # Real time is not simulation output: execute_spec hoists it out
+        # of cached payloads into the "_wall_s" side channel
+        m.inc("engine.wall_s", getattr(self, "_wall_s", 0.0))
+        # histograms merge with max, so the deepest world of a sweep wins
+        m.observe("engine.peak_queue_depth", float(self.sim.peak_queue_depth))
+        for dev in self.devices.values():
+            dev.flush_metrics()
+        self.fabric.flush_metrics()
         for node in self.cluster.nodes:
             for bus in node._buses.values():
                 srv = bus.server

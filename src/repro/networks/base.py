@@ -24,7 +24,6 @@ Delivery has two modes, mirroring where message processing happens:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
@@ -37,7 +36,6 @@ from repro.hardware.path import PipelinePath, chunk_sizes
 __all__ = ["Packet", "NetPort", "Fabric"]
 
 
-@dataclass
 class Packet:
     """One wire message (payload or protocol control).
 
@@ -45,15 +43,29 @@ class Packet:
     ...).  ``nbytes`` is the payload size used for timing; ``payload``
     optionally carries real data (verification-scale runs).  ``meta``
     carries protocol state (tag, communicator id, request handles...).
+
+    A plain ``__slots__`` class: one is built per wire message on the
+    hot path, and the slotted layout is measurably cheaper than a
+    dataclass with a ``default_factory`` for ``meta``.
     """
 
-    kind: str
-    src_rank: int
-    dst_rank: int
-    nbytes: int
-    meta: dict = field(default_factory=dict)
-    payload: Optional[np.ndarray] = None
-    seq: int = -1
+    __slots__ = ("kind", "src_rank", "dst_rank", "nbytes", "meta",
+                 "payload", "seq")
+
+    def __init__(self, kind: str, src_rank: int, dst_rank: int, nbytes: int,
+                 meta: Optional[dict] = None, payload: Optional[np.ndarray] = None,
+                 seq: int = -1) -> None:
+        self.kind = kind
+        self.src_rank = src_rank
+        self.dst_rank = dst_rank
+        self.nbytes = nbytes
+        self.meta = {} if meta is None else meta
+        self.payload = payload
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Packet {self.kind} r{self.src_rank}->r{self.dst_rank} "
+                f"{self.nbytes}B seq={self.seq}>")
 
 
 class NetPort:
@@ -106,6 +118,14 @@ class Fabric:
         self._paths: Dict[Tuple[int, int], PipelinePath] = {}
         self._injectors: Dict[int, "_Injector"] = {}
         self._pkt_seq = 0
+        self._local_done_name = self.kind + ".local_done"
+        #: wire counters batched here per packet and published to the
+        #: metrics registry once per run (flush_metrics) — keeps the
+        #: per-packet cost at three attribute bumps instead of three
+        #: registry calls with string concatenation
+        self._pkt_counts: Dict[str, int] = {}
+        self._payload_bytes = 0
+        self._wire_bytes = 0
         #: installed by MPIWorld when a run carries a FaultSpec; None
         #: keeps the delivery path at a single attribute check
         self.fault_plane = None
@@ -200,12 +220,13 @@ class Fabric:
         wire_bytes = pkt.nbytes + self.header_bytes + extra_wire_bytes
         path, local_stage = self._select_path(pkt, wire_bytes, src_node, dst_node)
 
-        metrics = self.sim.metrics
-        metrics.inc("net.pkts." + pkt.kind)
-        metrics.inc("net.bytes.payload", pkt.nbytes)
-        metrics.inc("net.bytes.wire", wire_bytes)
+        counts = self._pkt_counts
+        kind = pkt.kind
+        counts[kind] = counts.get(kind, 0) + 1
+        self._payload_bytes += pkt.nbytes
+        self._wire_bytes += wire_bytes
 
-        local_ev = self.sim.event(f"{self.kind}.local_done")
+        local_ev = Event(self.sim, self._local_done_name)
         port = self.ports[pkt.dst_rank]
         job = _SendJob(pkt, path, wire_bytes, local_stage, local_ev, port)
         job.t_submit = self.sim.now
@@ -219,6 +240,19 @@ class Fabric:
                             name=f"{self.kind}.inj{src_node}")
             self._injectors[src_node] = inj
         return inj
+
+    def flush_metrics(self) -> None:
+        """Publish the batched per-packet counters to ``sim.metrics``."""
+        metrics = self.sim.metrics
+        for kind, n in self._pkt_counts.items():
+            metrics.inc("net.pkts." + kind, n)
+        if self._payload_bytes:
+            metrics.inc("net.bytes.payload", self._payload_bytes)
+        if self._wire_bytes:
+            metrics.inc("net.bytes.wire", self._wire_bytes)
+        self._pkt_counts.clear()
+        self._payload_bytes = 0
+        self._wire_bytes = 0
 
     # -- introspection ------------------------------------------------------
     def describe(self) -> str:
@@ -258,9 +292,10 @@ class _SendJob:
     def horizon_time(self) -> float:
         """Furthest reservation on this job's *source-side* stages."""
         t = 0.0
-        for stage in self.path.stages[: self.src_phase_end]:
-            if stage.server is not None and stage.server.next_free > t:
-                t = stage.server.next_free
+        for srv in self.path._src_servers:
+            nf = srv.next_free
+            if nf > t:
+                t = nf
         return t
 
 
@@ -310,9 +345,8 @@ class _Injector:
 
     def _sleep_until(self, when: float) -> None:
         self._sleeping = True
-        ev = self.sim.event(f"{self.name}.wake")
-        ev.add_callback(lambda _e: self._pump())
-        ev.succeed(delay=max(0.0, when - self.sim.now))
+        delay = when - self.sim.now
+        self.sim.schedule_at(delay if delay > 0.0 else 0.0, self._pump)
 
     def _advance(self, job: _SendJob) -> None:
         """Reserve the next group of the message (source phase)."""
@@ -330,29 +364,35 @@ class _Injector:
         local = path.walk_range(0, phase_end, entries,
                                 local_stage if (local_stage is not None and
                                                 local_stage < phase_end) else None)
-        job.local_done = max(job.local_done, local)
-        path.messages += 1 if first else 0
+        if local > job.local_done:
+            job.local_done = local
+        if first:
+            path.messages += 1
         path.bytes_moved += group
-        job.offset += max(1, group)
+        job.offset += group if group > 1 else 1
         if phase_end >= nstages:
-            self._group_done(job, max(e[1] for e in entries))
+            tail = 0.0
+            for e in entries:
+                if e[1] > tail:
+                    tail = e[1]
+            self._group_done(job, tail)
             return
         # Destination phase: reserve each chunk's dst-side capacity at
         # that chunk's own arrival time.  Reserving any earlier would
         # plant future reservations on shared servers (scalar next_free
         # cannot represent the idle gap before them), spuriously
         # blocking cross-traffic that physically interleaves.
+        schedule_at = self.sim.schedule_at
         for entry in entries:
             job.pending_groups += 1
-            ev = self.sim.event(f"{self.name}.dstphase")
 
-            def _run_dst_phase(_e, job=job, entry=entry, phase_end=phase_end):
+            def _run_dst_phase(job=job, entry=entry, phase_end=phase_end):
                 job.path.walk_range(phase_end, nstages, [entry])
                 job.pending_groups -= 1
                 self._group_done(job, entry[1])
 
-            ev.add_callback(_run_dst_phase)
-            ev.succeed(delay=max(0.0, entry[0] - now))
+            delay = entry[0] - now
+            schedule_at(delay if delay > 0.0 else 0.0, _run_dst_phase)
 
     def _group_done(self, job: _SendJob, delivered: float) -> None:
         if delivered > job.delivered:
@@ -365,7 +405,7 @@ class _Injector:
             return
         port, job.port = job.port, None  # deliver exactly once
         tracer = self.sim.tracer
-        if tracer.enabled:
+        if tracer.wants_net:
             pkt = job.pkt
             tracer.emit(
                 job.t_submit, "net", job.path.name,
@@ -377,6 +417,6 @@ class _Injector:
                       "submit": job.t_submit, "local_done": job.local_done,
                       "delivered": job.delivered},
             )
-        deliver_ev = self.sim.event("deliver")
-        deliver_ev.add_callback(lambda _e: port.deliver(job.pkt))
-        deliver_ev.succeed(delay=max(0.0, job.delivered - self.sim.now))
+        delay = job.delivered - self.sim.now
+        self.sim.schedule_at(delay if delay > 0.0 else 0.0,
+                             lambda: port.deliver(job.pkt))

@@ -87,6 +87,15 @@ class QuadricsFabric(Fabric):
         # All arrivals are processed by the Elan, not queued for the host.
         port.nic_handler = tp.nic_arrival
 
+    def flush_metrics(self) -> None:
+        matches = 0
+        for tp in self.tports.values():
+            matches += tp.nic_matches
+            tp.nic_matches = 0
+        if matches:
+            self.sim.metrics.inc("proto.nic_matches", matches)
+        super().flush_metrics()
+
     # -- paths ------------------------------------------------------------
     # DMA layout: [0]=src bus, [1]=thread processor (TX), [2]=tx engine,
     # [3]=uplink, [4]=switch out-port, [5]=thread processor (RX),

@@ -18,7 +18,6 @@ numbers (Fig. 11) despite its excellent latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, List, Optional
 
 import numpy as np
@@ -33,50 +32,66 @@ __all__ = ["TxHandle", "RxHandle", "TportsPort"]
 #: wildcard selector for source / tag matching
 ANY = -1
 
+# The four descriptor types below are plain __slots__ classes: two are
+# created per message on the hot path, so construction cost matters.
 
-@dataclass
+
 class TxHandle:
     """A pending Tports transmit; ``done`` fires when the source buffer
     is reusable (data has left host memory)."""
 
-    done: Event
-    dst_rank: int
-    tag: Any
-    nbytes: int
+    __slots__ = ("done", "dst_rank", "tag", "nbytes")
+
+    def __init__(self, done: Event, dst_rank: int, tag: Any, nbytes: int) -> None:
+        self.done = done
+        self.dst_rank = dst_rank
+        self.tag = tag
+        self.nbytes = nbytes
 
 
-@dataclass
 class RxHandle:
     """A posted Tports receive; ``done`` fires with the matched envelope
-    ``(src_rank, tag, nbytes)``."""
+    ``(src_rank, tag, nbytes)``.
 
-    done: Event
-    buf: Optional[Buffer]
-    src_sel: int
-    tag_sel: Any
-    #: host copy cost (µs) the library must pay at completion — nonzero
-    #: when the message was unexpected and staged in a system buffer
-    copy_cost_us: float = 0.0
+    ``copy_cost_us`` is the host copy cost (µs) the library must pay at
+    completion — nonzero when the message was unexpected and staged in a
+    system buffer.
+    """
+
+    __slots__ = ("done", "buf", "src_sel", "tag_sel", "copy_cost_us")
+
+    def __init__(self, done: Optional[Event], buf: Optional[Buffer],
+                 src_sel: int, tag_sel: Any, copy_cost_us: float = 0.0) -> None:
+        self.done = done
+        self.buf = buf
+        self.src_sel = src_sel
+        self.tag_sel = tag_sel
+        self.copy_cost_us = copy_cost_us
 
 
-@dataclass
 class _StoredMsg:
     """An unexpected arrival staged in an Elan system buffer."""
 
-    src_rank: int
-    tag: Any
-    nbytes: int
-    payload: Optional[np.ndarray]
+    __slots__ = ("src_rank", "tag", "nbytes", "payload")
+
+    def __init__(self, src_rank: int, tag: Any, nbytes: int,
+                 payload: Optional[np.ndarray]) -> None:
+        self.src_rank = src_rank
+        self.tag = tag
+        self.nbytes = nbytes
+        self.payload = payload
 
 
-@dataclass
 class _ParkedRts:
     """A rendezvous request waiting for a matching receive."""
 
-    src_rank: int
-    tag: Any
-    nbytes: int
-    tx_meta: dict
+    __slots__ = ("src_rank", "tag", "nbytes", "tx_meta")
+
+    def __init__(self, src_rank: int, tag: Any, nbytes: int, tx_meta: dict) -> None:
+        self.src_rank = src_rank
+        self.tag = tag
+        self.nbytes = nbytes
+        self.tx_meta = tx_meta
 
 
 class TportsPort:
@@ -97,6 +112,11 @@ class TportsPort:
         self.tx_slot_gate = Gate(sim, open_=True, name=f"tp.txslots[{rank}]")
         #: pulsed on every NIC-processed arrival (probe support)
         self.arrival_gate = Gate(sim, name=f"tp.arrivals[{rank}]")
+        #: this rank's NIC message processor, resolved lazily (the NIC
+        #: may not exist yet at attach time)
+        self._mproc = None
+        #: batched ``proto.nic_matches`` counter, published at end of run
+        self.nic_matches = 0
 
     # ------------------------------------------------------------------
     # host-side API (call costs are charged by the MPI layer)
@@ -114,14 +134,15 @@ class TportsPort:
            payload: Optional[np.ndarray] = None, meta: Optional[dict] = None) -> TxHandle:
         """Post a transmit.  Caller must have checked :meth:`tx_full`."""
         p = self.params
-        handle = TxHandle(self.sim.event("tp.tx"), dst_rank, tag, buf.nbytes)
+        handle = TxHandle(Event(self.sim, "tp.tx"), dst_rank, tag, buf.nbytes)
         self.inflight_tx += 1
-        if self.tx_full():
+        if self.inflight_tx >= p.tx_queue_depth:
             self.tx_slot_gate.close()
         if buf.nbytes <= p.eager_bytes:
+            m = {"tag": tag} if meta is None else {"tag": tag, **meta}
             pkt = Packet(
                 kind="tp.msg", src_rank=self.rank, dst_rank=dst_rank,
-                nbytes=buf.nbytes, meta={"tag": tag, **(meta or {})}, payload=payload,
+                nbytes=buf.nbytes, meta=m, payload=payload,
             )
             local = self.fabric.send_packet(pkt)
             local.add_callback(lambda ev: self._tx_done(handle))
@@ -139,7 +160,7 @@ class TportsPort:
 
     def rx(self, src_sel: int, tag_sel: Any, buf: Optional[Buffer]) -> RxHandle:
         """Post a receive with (source, tag) selectors (ANY = wildcard)."""
-        handle = RxHandle(self.sim.event("tp.rx"), buf, src_sel, tag_sel)
+        handle = RxHandle(Event(self.sim, "tp.rx"), buf, src_sel, tag_sel)
         # unmatched arrivals in arrival order (eager data and RTSs alike)
         for i, item in enumerate(self.pending):
             if self._sel_match(handle, item.src_rank, item.tag):
@@ -177,12 +198,14 @@ class TportsPort:
     def nic_arrival(self, pkt: Packet) -> None:
         """Fabric delivery callback: charge the matcher, then process."""
         p = self.params
-        fabric = self.fabric
-        mproc = fabric.nic(fabric.node_of(self.rank)).mproc
+        mproc = self._mproc
+        if mproc is None:
+            fabric = self.fabric
+            mproc = self._mproc = fabric.nic(fabric.node_of(self.rank)).mproc
         match_cost = p.match_base_us + p.match_per_posted_us * len(self.posted)
-        self.sim.metrics.inc("proto.nic_matches")
+        self.nic_matches += 1
         tracer = self.sim.tracer
-        if tracer.enabled:
+        if tracer.wants_proto:
             tracer.instant(self.sim.now, "proto", f"tp[{self.rank}]",
                            f"nic_match {pkt.kind} posted={len(self.posted)}",
                            data={"kind": pkt.kind, "src": pkt.src_rank,
@@ -196,7 +219,9 @@ class TportsPort:
             handle = self._match_posted(pkt.src_rank, pkt.meta["tag"])
             if handle is not None:
                 self._fill(handle.buf, pkt.payload)
-                handle.done.succeed((pkt.src_rank, pkt.meta["tag"], pkt.nbytes))
+                # posted receives attached their completion callback when
+                # they were parked, so the handle can complete in place
+                handle.done.succeed_now((pkt.src_rank, pkt.meta["tag"], pkt.nbytes))
             else:
                 self.pending.append(
                     _StoredMsg(pkt.src_rank, pkt.meta["tag"], pkt.nbytes,
@@ -224,7 +249,7 @@ class TportsPort:
         elif pkt.kind == "tp.data":
             handle: RxHandle = pkt.meta["rx_handle"]
             self._fill(handle.buf, pkt.payload)
-            handle.done.succeed((pkt.src_rank, pkt.meta["tag"], pkt.nbytes))
+            handle.done.succeed_now((pkt.src_rank, pkt.meta["tag"], pkt.nbytes))
         else:
             raise ValueError(f"Tports got foreign packet kind {pkt.kind!r}")
         self.arrival_gate.pulse()
@@ -244,18 +269,19 @@ class TportsPort:
         self.inflight_tx -= 1
         if not self.tx_full():
             self.tx_slot_gate.open()
-        handle.done.succeed(None)
+        handle.done.succeed_now(None)
 
     @staticmethod
     def _sel_match(handle: RxHandle, src: int, tag: Any) -> bool:
-        if handle.src_sel != ANY and handle.src_sel != src:
+        ssel = handle.src_sel
+        if ssel != ANY and ssel != src:
             return False
         sel = handle.tag_sel
+        if type(sel) is int:  # plain tag (or ANY): no wildcard object
+            return sel == ANY or sel == tag
         if hasattr(sel, "matches"):  # wildcard-capable selector object
             return sel.matches(tag)
-        if sel != ANY and sel != tag:
-            return False
-        return True
+        return sel == tag
 
     def _match_posted(self, src: int, tag: Any) -> Optional[RxHandle]:
         for i, handle in enumerate(self.posted):

@@ -1,0 +1,17 @@
+"""Performance harness: pinned suite, A/B measurement, BENCH reports.
+
+See :mod:`repro.perf.suite` for what is measured and how events/sec is
+normalized, and :mod:`repro.perf.harness` for the measurement protocol.
+"""
+
+from repro.perf.harness import (bench_filename, bench_record, compare_totals,
+                                git_rev, load_bench, measure_tree,
+                                render_report, run_suite, write_bench)
+from repro.perf.suite import QUICK_SUITE, SUITE, PerfTarget, suite_by_name
+
+__all__ = [
+    "PerfTarget", "SUITE", "QUICK_SUITE", "suite_by_name",
+    "run_suite", "measure_tree", "bench_record", "write_bench",
+    "load_bench", "compare_totals", "bench_filename", "git_rev",
+    "render_report",
+]

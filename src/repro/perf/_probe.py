@@ -1,0 +1,110 @@
+"""Subprocess worker for the perf harness: run targets, report walls.
+
+Executed *by file path* (``python .../_probe.py targets.json out.json``)
+with ``PYTHONPATH`` pointing at the source tree under test, so the very
+same driver measures any revision of the codebase — including the
+pre-refactor baseline, which predates this file.  Hence the hard
+compatibility rule: only APIs present since the seed revision may be
+used (``RunSpec`` + ``execute_spec``); anything newer is feature-probed
+and skipped when absent.
+
+Input JSON: ``{"targets": [<PerfTarget.to_jsonable() dicts>]}``.
+Output JSON: ``{"python": ..., "results": [{"name", "wall_s", "events",
+"peak_queue_depth", "analytic", "result_digest"}]}``.
+"""
+
+import hashlib
+import json
+import sys
+import time
+
+
+def _build_spec(t, analytic_ok):
+    from repro.runtime.spec import RunSpec
+
+    if t["kind"] == "app":
+        kwargs = {"record": False}
+        if t.get("sample_iters") is not None:
+            kwargs["sample_iters"] = t["sample_iters"]
+        return RunSpec.app(t["target"], t["klass"], t["network"],
+                           t["nprocs"], **kwargs)
+    params = {}
+    if t.get("analytic") and analytic_ok(t["target"]):
+        params["analytic"] = True
+    return RunSpec.microbench(t["target"], t["network"],
+                              nprocs=t["nprocs"], **params)
+
+
+def _analytic_support():
+    """Feature-probe the analytic fast path (absent in old revisions)."""
+    try:
+        from repro.analysis.fastpath import supports
+    except ImportError:
+        return lambda bench: False
+    return supports
+
+
+def _result_digest(payload):
+    """Short stable digest of the *simulation results* (not timings).
+
+    Rounded to 10 significant digits so the analytic fast path (exact to
+    float round-off) and full simulation digest identically; any real
+    behaviour change still shows up as a digest change in the BENCH diff.
+    """
+    if payload.get("kind") == "app":
+        core = {"elapsed_s": float(payload["elapsed_s"])}
+    else:
+        core = {"points": payload.get("points", [])}
+
+    def _round(x):
+        if isinstance(x, float):
+            return float(f"{x:.10g}")
+        if isinstance(x, list):
+            return [_round(v) for v in x]
+        if isinstance(x, dict):
+            return {k: _round(v) for k, v in x.items()}
+        return x
+
+    blob = json.dumps(_round(core), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def main(argv):
+    """Run every target in ``argv[1]`` and write results to ``argv[2]``."""
+    with open(argv[1]) as fh:
+        targets = json.load(fh)["targets"]
+
+    from repro.runtime.executor import execute_spec
+
+    analytic_ok = _analytic_support()
+    # Warm-up: pay one-time import/JIT costs (numpy, registries) before
+    # any timed region, with a tiny run of each kind.
+    from repro.runtime.spec import RunSpec
+    execute_spec(RunSpec.microbench("latency", "quadrics", sizes=(4,),
+                                    iters=2))
+    results = []
+    for t in targets:
+        spec = _build_spec(t, analytic_ok)
+        t0 = time.perf_counter()
+        payload = execute_spec(spec)
+        wall = time.perf_counter() - t0
+        metrics = payload.get("metrics") or {}
+        counters = metrics.get("counters", {})
+        hist = metrics.get("histograms", {}).get("engine.peak_queue_depth")
+        events = counters.get("engine.events_total")
+        results.append({
+            "name": t["name"],
+            "wall_s": wall,
+            "events": None if events is None else int(events),
+            "peak_queue_depth": None if not hist else int(hist["max"]),
+            "analytic": bool(dict(spec.params).get("analytic")),
+            "result_digest": _result_digest(payload),
+        })
+    out = {"python": sys.version.split()[0], "results": results}
+    with open(argv[2], "w") as fh:
+        json.dump(out, fh)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,260 @@
+"""Perf harness: measure the pinned suite, write and diff BENCH files.
+
+The harness runs every suite target in a subprocess whose ``PYTHONPATH``
+selects the source tree under test, via :mod:`repro.perf._probe`
+(executed by file path, so the probe itself never has to be importable
+from the tree being measured).  That one level of indirection is what
+makes A/B runs honest: the *identical* driver and probe measure the
+current tree and any baseline checkout (e.g. a git worktree of the
+pre-refactor revision).
+
+Measurement discipline: ``repeats`` full passes per tree, interleaved
+across trees (A, B, A, B ...) so slow machine phases hit both sides
+alike, with the per-target minimum taken per tree — the standard
+"best of N" estimator for the noise-free wall time.
+
+The BENCH report (``BENCH_<rev>.json``) records, per target: best wall,
+measured engine events, pinned canonical events, canonical events/sec,
+whether the analytic fast path was used, and a digest of the simulation
+*results* so a perf win that changes behaviour is immediately visible
+in a diff.  ``totals`` aggregates the suite; an optional ``baseline``
+block embeds a second tree's totals and the speedup against it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.perf.suite import SUITE, PerfTarget
+
+__all__ = ["run_suite", "measure_tree", "bench_record", "write_bench",
+           "load_bench", "compare_totals", "bench_filename", "git_rev"]
+
+#: BENCH file schema version
+SCHEMA = 1
+
+_PROBE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_probe.py")
+
+
+def git_rev(repo_dir: Optional[str] = None) -> str:
+    """``<short-rev>`` or ``<short-rev>-dirty`` of the repo (or "unknown")."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=repo_dir,
+            capture_output=True, text=True, check=True).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            cwd=repo_dir, capture_output=True, text=True, check=True).stdout
+        return rev + ("-dirty" if dirty.strip() else "")
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def bench_filename(rev: Optional[str] = None) -> str:
+    """Conventional report filename for ``rev`` (``BENCH_<rev>.json``)."""
+    rev = rev or git_rev()
+    return f"BENCH_{rev.replace('-dirty', '')}.json"
+
+
+def _run_probe(src_dir: str, targets: Sequence[PerfTarget],
+               python: str = sys.executable,
+               timeout_s: float = 600.0) -> List[dict]:
+    """One full pass over ``targets`` against the tree at ``src_dir``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
+        tin = os.path.join(tmp, "targets.json")
+        tout = os.path.join(tmp, "results.json")
+        with open(tin, "w") as fh:
+            json.dump({"targets": [t.to_jsonable() for t in targets]}, fh)
+        proc = subprocess.run([python, _PROBE, tin, tout], env=env,
+                              capture_output=True, text=True,
+                              timeout=timeout_s)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"perf probe failed against {src_dir!r} "
+                f"(exit {proc.returncode}):\n{proc.stderr}")
+        with open(tout) as fh:
+            return json.load(fh)["results"]
+
+
+def _fold_best(passes: List[List[dict]],
+               targets: Sequence[PerfTarget]) -> List[dict]:
+    """Per-target best-of-N fold of repeated probe passes."""
+    by_target: List[dict] = []
+    for i, target in enumerate(targets):
+        runs = [p[i] for p in passes]
+        best = min(runs, key=lambda r: r["wall_s"])
+        wall = best["wall_s"]
+        row = dict(best)
+        row["canonical_events"] = target.canonical_events
+        row["events_per_sec"] = (target.canonical_events / wall
+                                 if wall > 0 else 0.0)
+        by_target.append(row)
+    return by_target
+
+
+def measure_tree(src_dir: str, targets: Sequence[PerfTarget] = SUITE,
+                 repeats: int = 2, python: str = sys.executable) -> List[dict]:
+    """Measure one tree: ``repeats`` passes, best-of fold."""
+    passes = [_run_probe(src_dir, targets, python=python)
+              for _ in range(max(1, repeats))]
+    return _fold_best(passes, targets)
+
+
+def run_suite(src_dir: str, baseline_src: Optional[str] = None,
+              targets: Sequence[PerfTarget] = SUITE, repeats: int = 2,
+              python: str = sys.executable,
+              progress=None) -> Dict[str, List[dict]]:
+    """Measure the suite, interleaving current and baseline passes.
+
+    Returns ``{"current": [...], "baseline": [...]}`` (baseline omitted
+    when ``baseline_src`` is None).  Interleaving (A, B, A, B, ...)
+    keeps slow machine phases from biasing one side.
+    """
+    trees = [("current", src_dir)]
+    if baseline_src is not None:
+        trees.append(("baseline", baseline_src))
+    passes: Dict[str, List[List[dict]]] = {label: [] for label, _ in trees}
+    for n in range(max(1, repeats)):
+        for label, tree in trees:
+            if progress is not None:
+                progress(f"pass {n + 1}/{repeats}: {label} ({tree})")
+            passes[label].append(_run_probe(tree, targets, python=python))
+    return {label: _fold_best(runs, targets)
+            for label, runs in passes.items()}
+
+
+def _totals(rows: List[dict]) -> dict:
+    wall = sum(r["wall_s"] for r in rows)
+    canonical = sum(r["canonical_events"] for r in rows)
+    return {"wall_s": wall, "canonical_events": canonical,
+            "events_per_sec": canonical / wall if wall > 0 else 0.0}
+
+
+def bench_record(current: List[dict], baseline: Optional[List[dict]] = None,
+                 rev: Optional[str] = None,
+                 baseline_rev: Optional[str] = None,
+                 repeats: int = 2) -> dict:
+    """Assemble the JSON-able BENCH report."""
+    totals = _totals(current)
+    record = {
+        "schema": SCHEMA,
+        "rev": rev or git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "repeats": repeats,
+        "targets": current,
+        "totals": totals,
+    }
+    if baseline is not None:
+        btotals = _totals(baseline)
+        base_by_name = {t["name"]: t for t in baseline}
+        ratios = [t["events_per_sec"] / base_by_name[t["name"]]["events_per_sec"]
+                  for t in current
+                  if base_by_name.get(t["name"], {}).get("events_per_sec")]
+        record["baseline"] = {
+            "rev": baseline_rev or "unknown",
+            "targets": baseline,
+            "totals": btotals,
+            # Suite aggregate, SPEC-style: geometric mean of the
+            # per-target events/sec ratios, so every target counts
+            # equally regardless of how long it runs.
+            "speedup": (math.exp(sum(math.log(r) for r in ratios)
+                                 / len(ratios)) if ratios else 0.0),
+            # Whole-suite throughput ratio (equals the total wall-clock
+            # ratio under the canonical-events normalization): weighted
+            # toward the longest-running targets.
+            "speedup_total": (totals["events_per_sec"]
+                              / btotals["events_per_sec"]
+                              if btotals["events_per_sec"] > 0 else 0.0),
+        }
+    return record
+
+
+def write_bench(record: dict, path: str) -> str:
+    """Write a BENCH record as indented JSON; returns ``path``."""
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=1, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def load_bench(path: str) -> dict:
+    """Read a BENCH record back, validating the schema version."""
+    with open(path) as fh:
+        record = json.load(fh)
+    if record.get("schema") != SCHEMA:
+        raise ValueError(f"unsupported BENCH schema in {path!r}: "
+                         f"{record.get('schema')!r}")
+    return record
+
+
+def compare_totals(new: dict, old: dict) -> dict:
+    """events/sec ratio of two BENCH records (new / old), with details.
+
+    The headline ``ratio`` is computed over the *intersection* of
+    target names (total canonical events / total wall on each side), so
+    a reduced-suite run (``--quick``) gates cleanly against a committed
+    full-suite BENCH.
+    """
+    per_target = {}
+    old_by_name = {t["name"]: t for t in old["targets"]}
+    new_wall = old_wall = 0.0
+    shared_events = 0
+    for t in new["targets"]:
+        o = old_by_name.get(t["name"])
+        if o is None:
+            continue
+        new_wall += t["wall_s"]
+        old_wall += o["wall_s"]
+        shared_events += t["canonical_events"]
+        per_target[t["name"]] = {
+            "ratio": (t["events_per_sec"] / o["events_per_sec"]
+                      if o["events_per_sec"] > 0 else 0.0),
+            "result_drift": t.get("result_digest") != o.get("result_digest"),
+        }
+    new_eps = shared_events / new_wall if new_wall > 0 else 0.0
+    old_eps = shared_events / old_wall if old_wall > 0 else 0.0
+    return {"old_rev": old.get("rev"), "new_rev": new.get("rev"),
+            "ratio": new_eps / old_eps if old_eps > 0 else 0.0,
+            "per_target": per_target}
+
+
+def render_report(record: dict, comparison: Optional[dict] = None) -> str:
+    """Human-readable table of a BENCH record (plus optional comparison)."""
+    lines = [f"perf suite @ {record['rev']}  "
+             f"(python {record['python']}, best of {record['repeats']})",
+             f"{'target':<28} {'wall':>8} {'ev/s':>12} "
+             f"{'events':>9} {'peakq':>6}  mode"]
+    for t in record["targets"]:
+        ev = "-" if t.get("events") is None else str(t["events"])
+        pq = "-" if t.get("peak_queue_depth") is None else str(t["peak_queue_depth"])
+        mode = "analytic" if t.get("analytic") else "full"
+        lines.append(f"{t['name']:<28} {t['wall_s']:>7.3f}s "
+                     f"{t['events_per_sec']:>12,.0f} {ev:>9} {pq:>6}  {mode}")
+    tot = record["totals"]
+    lines.append(f"{'TOTAL':<28} {tot['wall_s']:>7.3f}s "
+                 f"{tot['events_per_sec']:>12,.0f}")
+    base = record.get("baseline")
+    if base:
+        bt = base["totals"]
+        lines.append(f"baseline {base['rev']}: {bt['wall_s']:.3f}s "
+                     f"{bt['events_per_sec']:,.0f} ev/s  ->  "
+                     f"speedup {base['speedup']:.2f}x (geomean), "
+                     f"{base['speedup_total']:.2f}x (total ev/s)")
+    if comparison:
+        drifted = [n for n, d in comparison["per_target"].items()
+                   if d["result_drift"]]
+        lines.append(f"vs {comparison['old_rev']}: "
+                     f"{comparison['ratio']:.2f}x events/sec"
+                     + (f"  [RESULT DRIFT: {', '.join(drifted)}]"
+                        if drifted else "  [results identical]"))
+    return "\n".join(lines)

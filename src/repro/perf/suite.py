@@ -1,0 +1,118 @@
+"""The pinned performance suite: what ``repro perf`` measures.
+
+The suite covers the paper's figure sweeps (Figs. 1, 2, 4, 5 point-to-
+point micro-benchmarks and Figs. 11, 12 PMB collectives, each on all
+three fabrics) plus one application spot check per fabric (NAS LU and
+IS, and Sweep3D).  Together they exercise every hot layer: the event
+core, the three network stacks, the CH3 device core, and the app
+runner.
+
+Normalization — *canonical events*.  Each target carries a pinned
+``canonical_events`` count: the number of engine events a **full
+simulation** of that target processed when this harness was introduced.
+``events_per_sec`` in a BENCH report is ``canonical_events / wall``,
+i.e. "simulated workload delivered per second of wall clock" at a fixed
+workload definition.  This keeps the metric meaningful across
+optimizations that change how many engine entries the same workload
+needs (completion-chain collapse, analytic fast paths): a revision that
+produces the same results in less wall time scores proportionally
+higher, and two revisions are always compared on identical work.  The
+measured per-run event count is reported alongside, never substituted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["PerfTarget", "SUITE", "QUICK_SUITE", "suite_by_name"]
+
+
+@dataclass(frozen=True)
+class PerfTarget:
+    """One measured unit of the suite (a full spec execution)."""
+
+    #: stable identifier, e.g. ``bandwidth.myrinet`` or ``lu.A.infiniband``
+    name: str
+    #: ``microbench`` or ``app``
+    kind: str
+    #: bench name (microbench) or app name (app)
+    target: str
+    network: str
+    #: pinned full-simulation engine event count (see module docstring)
+    canonical_events: int
+    nprocs: int = 2
+    #: app problem class (apps only)
+    klass: Optional[str] = None
+    #: app iteration sampling (apps only)
+    sample_iters: Optional[int] = None
+    #: opt into the analytic fast path when the codebase supports it
+    analytic: bool = True
+
+    def to_jsonable(self) -> dict:
+        d = {"name": self.name, "kind": self.kind, "target": self.target,
+             "network": self.network, "nprocs": self.nprocs,
+             "canonical_events": self.canonical_events,
+             "analytic": self.analytic}
+        if self.klass is not None:
+            d["klass"] = self.klass
+        if self.sample_iters is not None:
+            d["sample_iters"] = self.sample_iters
+        return d
+
+
+def _mb(bench: str, network: str, events: int, nprocs: int = 2) -> PerfTarget:
+    return PerfTarget(name=f"{bench}.{network}", kind="microbench",
+                      target=bench, network=network, nprocs=nprocs,
+                      canonical_events=events)
+
+
+def _app(app: str, klass: str, network: str, events: int,
+         sample_iters: Optional[int] = None) -> PerfTarget:
+    return PerfTarget(name=f"{app}.{klass}.{network}", kind="app",
+                      target=app, klass=klass, network=network, nprocs=8,
+                      canonical_events=events, sample_iters=sample_iters)
+
+
+#: The pinned suite.  Canonical event counts measured at harness
+#: introduction (full simulation, analytic fast path off).
+SUITE: Tuple[PerfTarget, ...] = (
+    # Fig. 1 / Fig. 4: ping-pong and ping-ping sweeps, 4 B .. 16 KB
+    _mb("latency", "infiniband", 7245),
+    _mb("latency", "myrinet", 6454),
+    _mb("latency", "quadrics", 4599),
+    _mb("bidir_latency", "infiniband", 7245),
+    _mb("bidir_latency", "myrinet", 6475),
+    _mb("bidir_latency", "quadrics", 4329),
+    # Fig. 2 / Fig. 5: windowed streams, 4 B .. 1 MB
+    _mb("bandwidth", "infiniband", 69066),
+    _mb("bandwidth", "myrinet", 96227),
+    _mb("bandwidth", "quadrics", 51420),
+    _mb("bidir_bandwidth", "infiniband", 153368),
+    _mb("bidir_bandwidth", "myrinet", 152820),
+    _mb("bidir_bandwidth", "quadrics", 120982),
+    # Figs. 11 / 12: PMB collectives on 8 nodes
+    _mb("alltoall", "infiniband", 100254, nprocs=8),
+    _mb("alltoall", "myrinet", 103726, nprocs=8),
+    _mb("alltoall", "quadrics", 51238, nprocs=8),
+    _mb("allreduce", "infiniband", 26973, nprocs=8),
+    _mb("allreduce", "myrinet", 48342, nprocs=8),
+    _mb("allreduce", "quadrics", 17832, nprocs=8),
+    # application spot checks, one per fabric (Table 5 workloads)
+    _app("lu", "A", "infiniband", 55005),
+    _app("is", "A", "myrinet", 57113),
+    _app("sweep3d", "50", "quadrics", 119879, sample_iters=2),
+)
+
+#: Reduced suite for CI smoke runs: one cheap representative per layer.
+QUICK_SUITE: Tuple[PerfTarget, ...] = tuple(
+    t for t in SUITE
+    if t.name in ("latency.infiniband", "latency.myrinet",
+                  "latency.quadrics", "bandwidth.quadrics",
+                  "alltoall.quadrics", "allreduce.quadrics",
+                  "is.A.myrinet"))
+
+
+def suite_by_name(quick: bool = False) -> Tuple[PerfTarget, ...]:
+    """The pinned suite, or the reduced CI smoke suite when ``quick``."""
+    return QUICK_SUITE if quick else SUITE

@@ -74,21 +74,48 @@ def execute_spec(spec: RunSpec) -> dict:
     if spec.kind == KIND_APP:
         from repro.apps.runner import simulate_app_spec
 
-        return simulate_app_spec(spec)
+        return _hoist_wall(simulate_app_spec(spec))
     if spec.kind == KIND_MICROBENCH:
-        return _execute_microbench(spec)
+        return _hoist_wall(_execute_microbench(spec))
     raise ValueError(f"unknown spec kind {spec.kind!r}")  # pragma: no cover
+
+
+def _hoist_wall(payload: dict) -> dict:
+    """Move the ``engine.wall_s`` counter out of the payload's metrics.
+
+    Wall-clock is *real* time, not simulation output: leaving it inside
+    ``payload["metrics"]`` would make otherwise bit-deterministic
+    payloads differ run to run (breaking the serial == parallel and
+    cache-stability guarantees).  It travels under the ``"_wall_s"``
+    side-channel key instead, which :meth:`SweepExecutor.run` pops and
+    aggregates before the payload is cached or returned.
+    """
+    m = payload.get("metrics")
+    if m:
+        wall = m.get("counters", {}).pop("engine.wall_s", None)
+        if wall:
+            payload["_wall_s"] = wall
+    return payload
 
 
 def _execute_microbench(spec: RunSpec) -> dict:
     from repro.microbench.common import bench_registry, metrics_sink
 
+    if dict(spec.params).get("analytic"):
+        from repro.analysis import fastpath
+
+        if fastpath.supports(spec.target):
+            # steady-state extrapolation: exact on claimed points,
+            # per-point fallback to full simulation otherwise
+            return fastpath.analytic_microbench_payload(spec)
+        raise ValueError(f"microbench {spec.target!r} has no analytic "
+                         f"fast path (know {fastpath.FASTPATH_BENCHES})")
+    kwargs = thaw_mapping(spec.params)
     try:
         fn = bench_registry()[spec.target]
     except KeyError:
         raise KeyError(f"unknown microbench {spec.target!r}; "
                        f"know {sorted(bench_registry())}") from None
-    kwargs = thaw_mapping(spec.params)
     if spec.sizes:
         kwargs["sizes"] = spec.sizes
     if spec.iters is not None:
@@ -211,6 +238,16 @@ class SweepExecutor:
                 if is_error_payload(payload):
                     errors.append(payload)
                     continue
+                wall = payload.pop("_wall_s", None)
+                if wall:
+                    # aggregate real time (and the event count it bought)
+                    # out-of-band: events/sec then reflects only specs
+                    # that actually simulated, never cache hits
+                    self.metrics.inc("engine.wall_s", wall)
+                    m = payload.get("metrics") or {}
+                    self.metrics.inc(
+                        "engine.events_executed",
+                        m.get("counters", {}).get("engine.events_total", 0.0))
                 if self.cache is not None:
                     self.cache.store(spec, payload)
         for payload in resolved.values():

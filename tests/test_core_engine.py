@@ -244,3 +244,144 @@ class TestClockSemantics:
         urgent.succeed(delay=1.0, priority=PRIO_URGENT)
         sim.run()
         assert order == ["urgent", "normal"]
+
+
+class TestFastEventCore:
+    """Behaviour pins for the refactored hot path: slotted ready queues,
+    ``schedule_at``, ``Delay`` yields and ``succeed_now`` chains."""
+
+    def test_schedule_at_runs_callable_and_counts(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.0]
+        assert sim.events_processed == 1
+
+    def test_schedule_at_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="negative"):
+            sim.schedule_at(-1.0, lambda: None)
+
+    def test_schedule_at_orders_with_timeouts_by_seq(self):
+        # swapping a Timeout for schedule_at must not change same-time
+        # ordering: both consume one seq and fire FIFO within a slot
+        sim = Simulator()
+        order = []
+        sim.timeout(1.0).add_callback(lambda e: order.append("t1"))
+        sim.schedule_at(1.0, lambda: order.append("s1"))
+        sim.timeout(1.0).add_callback(lambda e: order.append("t2"))
+        sim.schedule_at(1.0, lambda: order.append("s2"))
+        sim.run()
+        assert order == ["t1", "s1", "t2", "s2"]
+
+    def test_zero_delay_during_run_urgent_before_normal(self):
+        # zero-delay entries scheduled *while running* take the ready
+        # deques; urgent ones must still fire before normal ones
+        from repro.core.engine import PRIO_URGENT
+
+        sim = Simulator()
+        order = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            sim.schedule_at(0.0, lambda: order.append("normal"))
+            sim.schedule_at(0.0, lambda: order.append("urgent"),
+                            priority=PRIO_URGENT)
+            yield sim.timeout(1.0)
+
+        sim.spawn(proc())
+        sim.run()
+        assert order == ["urgent", "normal"]
+
+    def test_same_slot_fifo_is_stable_at_scale(self):
+        # seq tie-break: many same-time same-priority entries fire in
+        # exactly the order they were scheduled (deque path during run)
+        sim = Simulator()
+        order = []
+
+        def proc():
+            yield sim.timeout(1.0)
+            for i in range(100):
+                sim.schedule_at(0.0, lambda i=i: order.append(i))
+            yield sim.timeout(1.0)
+
+        sim.spawn(proc())
+        sim.run()
+        assert order == list(range(100))
+
+    def test_delay_yield_matches_timeout(self):
+        # yield Delay(d) must be indistinguishable from yield timeout(d)
+        from repro.core.engine import Delay
+
+        def body(sim, pause):
+            yield pause(1.5)
+            yield pause(2.5)
+            return sim.now
+
+        sim_a = Simulator()
+        pa = sim_a.spawn(body(sim_a, sim_a.timeout))
+        sim_a.run()
+        sim_b = Simulator()
+        pb = sim_b.spawn(body(sim_b, Delay))
+        sim_b.run()
+        assert pa.value == pb.value == 4.0
+        assert sim_a.events_processed == sim_b.events_processed
+
+    def test_peak_queue_depth_tracks_high_water_mark(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.timeout(float(i + 1))
+        assert sim.peak_queue_depth == 5
+        sim.run()
+        # draining does not lower the recorded peak
+        assert sim.peak_queue_depth == 5
+
+    def test_succeed_now_delivers_synchronously(self):
+        sim = Simulator()
+        ev = sim.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed_now("v")
+        # delivered inside the call: no engine entry, no run() needed
+        assert seen == ["v"]
+        assert ev.processed and ev.ok and ev.value == "v"
+        assert sim.events_processed == 0
+
+    def test_succeed_now_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed_now(1)
+        with pytest.raises(SimulationError, match="already triggered"):
+            ev.succeed_now(2)
+        with pytest.raises(SimulationError, match="already triggered"):
+            ev.succeed(3)
+
+    def test_succeed_now_late_waiter_fires_immediately(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed_now(7)
+        late = []
+        ev.add_callback(lambda e: late.append(e.value))
+        assert late == [7]
+
+    def test_succeed_now_resumes_waiting_process_inline(self):
+        # a completion chain: the waiter continues at the same sim time,
+        # *before* the triggering process's next statement
+        sim = Simulator()
+        order = []
+
+        def waiter(ev):
+            v = yield ev
+            order.append(("woke", v, sim.now))
+
+        def trigger(ev):
+            yield sim.timeout(3.0)
+            ev.succeed_now("done")
+            order.append(("after-trigger", sim.now))
+
+        ev = sim.event()
+        sim.spawn(waiter(ev))
+        sim.spawn(trigger(ev))
+        sim.run()
+        assert order == [("woke", "done", 3.0), ("after-trigger", 3.0)]

@@ -1,0 +1,200 @@
+"""Perf harness units and the analytic fast path's exactness contract.
+
+Two halves:
+
+- pure-data tests of :mod:`repro.perf.harness` (fold, record, schema,
+  comparison, rendering) and the probe's result digest;
+- the equivalence suite the fast path's docstring promises: on **every**
+  claimed ``(bench, network, size)`` point, the analytic fast path must
+  reproduce full simulation to float round-off.
+"""
+
+import pytest
+
+from repro.analysis.fastpath import (CLAIMED_POINTS, FASTPATH_BENCHES,
+                                     supports)
+from repro.perf import (QUICK_SUITE, SUITE, PerfTarget, bench_filename,
+                        bench_record, compare_totals, load_bench,
+                        render_report, suite_by_name, write_bench)
+from repro.perf._probe import _result_digest
+from repro.perf.harness import SCHEMA, _fold_best, _totals
+from repro.runtime.executor import execute_spec
+from repro.runtime.spec import RunSpec
+
+
+# ----------------------------------------------------------------------
+# suite definition
+# ----------------------------------------------------------------------
+class TestSuiteDefinition:
+    def test_names_unique_and_events_pinned(self):
+        names = [t.name for t in SUITE]
+        assert len(names) == len(set(names))
+        assert all(t.canonical_events > 0 for t in SUITE)
+
+    def test_quick_suite_is_a_subset(self):
+        full = {t.name: t for t in SUITE}
+        for t in QUICK_SUITE:
+            assert full[t.name] is t
+        assert len(QUICK_SUITE) < len(SUITE)
+
+    def test_suite_by_name(self):
+        assert suite_by_name() == SUITE
+        assert suite_by_name(quick=True) == QUICK_SUITE
+
+    def test_to_jsonable_round_trips_the_probe_contract(self):
+        for t in SUITE:
+            d = t.to_jsonable()
+            assert d["name"] == t.name
+            assert d["kind"] in ("microbench", "app")
+            if t.kind == "app":
+                assert "klass" in d
+            assert d["canonical_events"] == t.canonical_events
+
+
+# ----------------------------------------------------------------------
+# harness folding / record assembly
+# ----------------------------------------------------------------------
+def _target(name, events):
+    return PerfTarget(name=name, kind="microbench", target=name.split(".")[0],
+                      network="quadrics", canonical_events=events)
+
+
+def _rows(walls, targets):
+    return [{"name": t.name, "wall_s": w, "events": t.canonical_events,
+             "peak_queue_depth": 4, "analytic": False,
+             "result_digest": f"d-{t.name}"}
+            for w, t in zip(walls, targets)]
+
+
+class TestHarnessFold:
+    def test_fold_best_takes_per_target_min(self):
+        targets = [_target("a.quadrics", 1000), _target("b.quadrics", 3000)]
+        passes = [_rows([2.0, 1.0], targets), _rows([1.0, 3.0], targets)]
+        folded = _fold_best(passes, targets)
+        assert [r["wall_s"] for r in folded] == [1.0, 1.0]
+        assert folded[0]["events_per_sec"] == 1000.0
+        assert folded[1]["events_per_sec"] == 3000.0
+
+    def test_totals_sum_walls_and_canonical_events(self):
+        targets = [_target("a.quadrics", 1000), _target("b.quadrics", 3000)]
+        folded = _fold_best([_rows([2.0, 2.0], targets)], targets)
+        tot = _totals(folded)
+        assert tot["wall_s"] == 4.0
+        assert tot["canonical_events"] == 4000
+        assert tot["events_per_sec"] == 1000.0
+
+
+class TestBenchRecord:
+    def _record(self):
+        targets = [_target("a.quadrics", 1000), _target("b.quadrics", 8000)]
+        current = _fold_best([_rows([1.0, 1.0], targets)], targets)
+        baseline = _fold_best([_rows([2.0, 8.0], targets)], targets)
+        return bench_record(current, baseline=baseline, rev="r2",
+                            baseline_rev="r1", repeats=1)
+
+    def test_speedups_geomean_and_total(self):
+        rec = self._record()
+        base = rec["baseline"]
+        # per-target events/sec ratios are 2x and 8x -> geomean 4x
+        assert base["speedup"] == pytest.approx(4.0)
+        # totals: 9000 ev in 2 s vs the same 9000 ev in 10 s -> 5x
+        assert base["speedup_total"] == pytest.approx(5.0)
+        assert base["rev"] == "r1"
+
+    def test_record_shape_and_schema(self, tmp_path):
+        rec = self._record()
+        assert rec["schema"] == SCHEMA
+        assert rec["rev"] == "r2"
+        path = str(tmp_path / "BENCH_test.json")
+        write_bench(rec, path)
+        assert load_bench(path) == rec
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        rec = self._record()
+        rec["schema"] = SCHEMA + 999
+        path = str(tmp_path / "BENCH_bad.json")
+        write_bench(rec, path)
+        with pytest.raises(ValueError, match="schema"):
+            load_bench(path)
+
+    def test_bench_filename_strips_dirty(self):
+        assert bench_filename("abc123-dirty") == "BENCH_abc123.json"
+        assert bench_filename("abc123") == "BENCH_abc123.json"
+
+
+class TestCompareAndRender:
+    def _two_records(self):
+        targets = [_target("a.quadrics", 1000)]
+        old = bench_record(_fold_best([_rows([2.0], targets)], targets),
+                           rev="old", repeats=1)
+        new = bench_record(_fold_best([_rows([1.0], targets)], targets),
+                           rev="new", repeats=1)
+        return new, old
+
+    def test_compare_totals_ratio_and_drift(self):
+        new, old = self._two_records()
+        cmp = compare_totals(new, old)
+        assert cmp["ratio"] == pytest.approx(2.0)
+        assert cmp["per_target"]["a.quadrics"]["ratio"] == pytest.approx(2.0)
+        assert not cmp["per_target"]["a.quadrics"]["result_drift"]
+        # a digest change must surface as drift
+        new["targets"][0]["result_digest"] = "changed"
+        assert compare_totals(new, old)["per_target"]["a.quadrics"]["result_drift"]
+
+    def test_render_report_mentions_totals_and_speedup(self):
+        targets = [_target("a.quadrics", 1000)]
+        rec = bench_record(_fold_best([_rows([1.0], targets)], targets),
+                           baseline=_fold_best([_rows([3.0], targets)], targets),
+                           rev="r2", baseline_rev="r1", repeats=1)
+        out = render_report(rec, compare_totals(rec, rec))
+        assert "TOTAL" in out
+        assert "speedup 3.00x (geomean)" in out
+        assert "[results identical]" in out
+
+
+class TestResultDigest:
+    def test_digest_ignores_sub_ulp_noise_but_not_real_change(self):
+        a = {"kind": "microbench", "points": [[4.0, 1.234567890123]]}
+        b = {"kind": "microbench", "points": [[4.0, 1.234567890124]]}
+        c = {"kind": "microbench", "points": [[4.0, 1.2345680]]}
+        assert _result_digest(a) == _result_digest(b)
+        assert _result_digest(a) != _result_digest(c)
+
+    def test_digest_covers_app_elapsed(self):
+        a = {"kind": "app", "elapsed_s": 1.0, "points": [[1, 2]]}
+        b = {"kind": "app", "elapsed_s": 2.0, "points": [[1, 2]]}
+        assert _result_digest(a) != _result_digest(b)
+
+
+# ----------------------------------------------------------------------
+# the exactness contract: analytic fast path == full simulation on
+# every claimed point (this is what licenses `analytic=True` in SUITE)
+# ----------------------------------------------------------------------
+_CASES = [(bench, net, sizes)
+          for (bench, net), sizes in sorted(CLAIMED_POINTS.items()) if sizes]
+
+
+def _spec(bench, net, sizes, analytic):
+    nprocs = 8 if bench in ("alltoall", "allreduce") else 2
+    params = {"analytic": True} if analytic else {}
+    return RunSpec.microbench(bench, net, sizes=tuple(sizes), nprocs=nprocs,
+                              **params)
+
+
+class TestFastpathEquivalence:
+    def test_supports_matches_bench_list(self):
+        for bench in FASTPATH_BENCHES:
+            assert supports(bench)
+        assert not supports("barrier")
+
+    @pytest.mark.parametrize(
+        "bench,net,sizes", _CASES,
+        ids=[f"{bench}.{net}" for bench, net, _ in _CASES])
+    def test_claimed_points_match_full_simulation(self, bench, net, sizes):
+        full = execute_spec(_spec(bench, net, sizes, analytic=False))
+        fast = execute_spec(_spec(bench, net, sizes, analytic=True))
+        assert [p[0] for p in fast["points"]] == [p[0] for p in full["points"]]
+        for (x, y_fast), (_, y_full) in zip(fast["points"], full["points"]):
+            assert y_fast == pytest.approx(y_full, rel=1e-9), (bench, net, x)
+        # same digest the BENCH diff uses to flag behaviour drift
+        assert _result_digest(fast) == _result_digest(full)
