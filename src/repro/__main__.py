@@ -23,6 +23,13 @@ Usage::
     python -m repro report --run-timeout 120   # livelock guard per spec
     python -m repro perf                 # pinned perf suite -> BENCH_<rev>.json
     python -m repro perf --quick --compare BENCH_base.json --fail-below 0.75
+    python -m repro perf report          # events/sec history of BENCH files
+    python -m repro bench latency --stats --timeline 5 \
+        --network myrinet                # repetition stats + sim-time timeline
+    python -m repro fig1 --ledger runs.jsonl --progress  # run-lifecycle JSONL
+    python -m repro diff latency@myrinet latency@quadrics       # A/B observatory
+    python -m repro diff bandwidth@infiniband \
+        bandwidth@infiniband:rendezvous=send_recv --size 65536
 
 Installed as the ``repro`` console script as well.
 """
@@ -43,7 +50,8 @@ def _cmd_list() -> int:
     print("tables:  " + " ".join(sorted(TABLES)))
     print("apps:    " + " ".join(sorted(PROBLEMS)))
     print("other:   calibration  loggp  sensitivity  validate  report  "
-          "matrix  faults  perf  bench <name>  profile <app.class> <nprocs>")
+          "matrix  faults  perf  perf report  bench <name>  "
+          "profile <app.class> <nprocs>  diff <refA> <refB>")
     return 0
 
 
@@ -112,14 +120,58 @@ def _cmd_profile(spec: str, nprocs: int, network: str,
     return 0
 
 
+def _parse_timeline(ns):
+    """--timeline value as a RunSpec param: None, True (default) or µs."""
+    if ns.timeline is None:
+        return None
+    if ns.timeline == "default":
+        return True
+    try:
+        interval = float(ns.timeline)
+    except ValueError:
+        raise SystemExit(f"--timeline needs a sim-µs interval, "
+                         f"got {ns.timeline!r}") from None
+    if interval <= 0:
+        raise SystemExit("--timeline interval must be > 0")
+    return interval
+
+
+def _render_timelines(payload, channels=None) -> None:
+    """Print an ASCII chart per timeline-enabled world in ``payload``."""
+    from repro.experiments.ascii_plot import line_chart
+    from repro.microbench.common import Series
+    from repro.obs.diff import PREFERRED_CHANNELS
+
+    for tl in payload.get("timeline") or ():
+        avail = tl.get("channels", {})
+        wanted = [c for c in channels if c in avail] if channels else None
+        if wanted is None:
+            wanted = [c for c in PREFERRED_CHANNELS
+                      if avail.get(c) and max(avail[c]) > min(avail[c])][:2]
+        if not wanted:
+            continue
+        series = [Series(name, list(zip(tl.get("t", ()), avail[name])))
+                  for name in wanted]
+        print()
+        print(line_chart(series, logx=False,
+                         title=f"timeline {tl['network']} np={tl['nprocs']} "
+                               f"(dt={tl['interval_us']:g}us, "
+                               f"{tl['samples']} samples)"))
+
+
 def _cmd_bench(ns) -> int:
     """``repro bench <name>``: one registered microbench, what-if knobs on."""
-    from repro.microbench.common import bench_registry, measure
+    import inspect
+
+    from repro.experiments.ascii_plot import table
+    from repro.microbench.common import bench_registry, series_from_payload
+    from repro.runtime.spec import RunSpec
 
     name = ns.args[0] if ns.args else "latency"
-    if name not in bench_registry():
+    registry = bench_registry()
+    if name not in registry:
         raise SystemExit(f"unknown bench {name!r}; "
-                         f"know {sorted(bench_registry())}")
+                         f"know {sorted(registry)}")
     kwargs = {}
     options = parse_mpi_options(ns)
     if options:
@@ -127,11 +179,53 @@ def _cmd_bench(ns) -> int:
     faults = parse_faults(ns)
     if faults:
         kwargs["faults"] = faults
-    series = measure(name, ns.network, **kwargs)
+    if ns.np is not None:
+        kwargs["nprocs"] = ns.np
+    accepted = inspect.signature(registry[name]).parameters
+    if ns.stats:
+        if "stats" not in accepted:
+            raise SystemExit(f"bench {name!r} does not support --stats "
+                             "(latency and bandwidth do)")
+        kwargs["stats"] = True
+    timeline = _parse_timeline(ns)
+    if timeline is not None:
+        kwargs["timeline"] = timeline
+    spec = RunSpec.microbench(name, ns.network, **kwargs)
+    payload = runtime.run_spec(spec)
+    series = series_from_payload(payload)
     label = ns.network + (f" {options}" if options else "") \
         + (f" faults={faults}" if faults else "")
     print(f"{name} on {label}")
     print(series.fmt(yunit="us" if "latency" in name else ""))
+    if series.stats:
+        rows = [[f"{int(x)} B", s["n"], f"{s['mean']:.3f}", f"{s['min']:.3f}",
+                 f"{s['max']:.3f}", f"{s['std']:.4f}", f"{s['ci95']:.4f}"]
+                for x, s in sorted(series.stats.items())]
+        print()
+        print(table(["size", "n", "mean", "min", "max", "std", "ci95"],
+                    rows, title="repetition statistics"))
+    _render_timelines(payload, ns.channel)
+    return 0
+
+
+def _cmd_diff(ns) -> int:
+    """``repro diff <refA> <refB>``: run (or cache-serve) both and compare."""
+    from repro.obs.diff import diff_report, parse_run_ref
+
+    if len(ns.args) != 2:
+        raise SystemExit("diff needs exactly two run refs, e.g. "
+                         "`repro diff latency@myrinet latency@quadrics`")
+    try:
+        ref_a, ref_b = (parse_run_ref(a) for a in ns.args)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    timeline = _parse_timeline(ns)
+    size = 16384 if ns.size is None else ns.size
+    print(diff_report(ref_a, ref_b, size=size,
+                      iters=ns.iters if ns.iters is not None else 20,
+                      nprocs=ns.np if ns.np is not None else 4,
+                      interval_us=None if timeline in (None, True) else timeline,
+                      channels=ns.channel))
     return 0
 
 
@@ -142,6 +236,7 @@ def _cmd_trace(ns) -> int:
                                               write_chrome_trace)
 
     target = ns.args[0] if ns.args else "pingpong"
+    size = 4 if ns.size is None else ns.size
     cats = None
     if ns.categories:
         cats = [c.strip() for c in ns.categories.split(",") if c.strip()]
@@ -156,14 +251,14 @@ def _cmd_trace(ns) -> int:
         runtime.metrics().merge(res.metrics or {})
         cp_networks = [ns.network]
     elif target in ("pingpong", "pt2pt"):
-        res, tracer = traced_pingpong(ns.network, nbytes=ns.size,
+        res, tracer = traced_pingpong(ns.network, nbytes=size,
                                       categories=cats, mpi_options=options)
         tracers[ns.network] = tracer
         runtime.metrics().merge(res.metrics)
         cp_networks = [ns.network]
     else:  # figN / tableN / latency: traced pingpong on all three fabrics
         for net in ("infiniband", "myrinet", "quadrics"):
-            res, tracer = traced_pingpong(net, nbytes=ns.size,
+            res, tracer = traced_pingpong(net, nbytes=size,
                                           categories=cats, mpi_options=options)
             tracers[net] = tracer
             runtime.metrics().merge(res.metrics)
@@ -177,16 +272,25 @@ def _cmd_trace(ns) -> int:
     if cats is None or ("hw" in cats and "net" in cats):
         for net in cp_networks:
             print()
-            print(critical_path(net, nbytes=ns.size).render())
+            print(critical_path(net, nbytes=size).render())
     return 0
 
 
 def _cmd_perf(ns) -> int:
-    """``repro perf``: run the pinned suite and write a BENCH report."""
+    """``repro perf``: run the pinned suite and write a BENCH report.
+
+    ``repro perf report [DIR]`` instead renders the events/sec history
+    of every committed ``BENCH_*.json`` under DIR (default: cwd).
+    """
     import os
 
     from repro import perf
 
+    if ns.args and ns.args[0] == "report":
+        root = ns.args[1] if len(ns.args) > 1 else "."
+        files = perf.collect_bench_files(root)
+        print(perf.render_history(perf.load_history(files)))
+        return 0
     targets = perf.suite_by_name(quick=ns.quick)
     rev = perf.git_rev()
     baseline_rev = perf.git_rev(ns.baseline_src) if ns.baseline_src else None
@@ -244,8 +348,9 @@ def main(argv=None) -> int:
                              "after the artifact")
     parser.add_argument("--out", default="trace.json", metavar="FILE",
                         help="trace: output JSON path (default: trace.json)")
-    parser.add_argument("--size", type=int, default=4, metavar="BYTES",
-                        help="trace: message size in bytes (default: 4)")
+    parser.add_argument("--size", type=int, default=None, metavar="BYTES",
+                        help="message size in bytes (trace default: 4; "
+                             "diff default: 16384)")
     parser.add_argument("--categories", default=None, metavar="C1,C2",
                         help="trace: only these categories "
                              "(engine,hw,net,proto,mpi; default: all)")
@@ -291,10 +396,34 @@ def main(argv=None) -> int:
                         metavar="SECONDS", dest="run_timeout",
                         help="per-spec wall-clock budget; a run exceeding it "
                              "fails with SimulationError instead of hanging")
+    parser.add_argument("--timeline", nargs="?", const="default", default=None,
+                        metavar="US",
+                        help="sample live counters every US sim-µs "
+                             "(bench/diff; bare flag = 10µs default grid); "
+                             "payloads gain a deterministic 'timeline' block")
+    parser.add_argument("--ledger", default=None, metavar="FILE",
+                        help="append structured JSONL run-lifecycle events "
+                             "(run_started/run_finished/cache_hit/...) to FILE")
+    parser.add_argument("--progress", action="store_true",
+                        help="print a live per-spec progress line to stderr "
+                             "as sweeps execute")
+    parser.add_argument("--stats", action="store_true",
+                        help="bench: record every repetition and report "
+                             "n/mean/min/max/std/ci95 per size")
+    parser.add_argument("--np", type=int, default=None, metavar="N",
+                        help="process count for bench/diff runs "
+                             "(default: bench 2, diff 4)")
+    parser.add_argument("--iters", type=int, default=None, metavar="N",
+                        help="iteration count for diff runs (default: 20)")
+    parser.add_argument("--channel", action="append", default=None,
+                        metavar="NAME",
+                        help="timeline channel(s) to chart (repeatable; "
+                             "default: auto-pick channels that moved)")
     ns = parser.parse_args(argv)
 
     runtime.configure(jobs=ns.jobs, enabled=not ns.no_cache,
-                      disk_dir=ns.cache_dir, timeout_s=ns.run_timeout)
+                      disk_dir=ns.cache_dir, timeout_s=ns.run_timeout,
+                      ledger=ns.ledger, progress=True if ns.progress else None)
 
     rc = _dispatch(ns, parser)
     if ns.target.lower() != "list":
@@ -305,7 +434,11 @@ def main(argv=None) -> int:
             engine_line = reg.engine_summary()
             if engine_line:
                 print(engine_line)
-        print(f"[cache] {runtime.cache_stats()}")
+        trailer = f"[cache] {runtime.cache_stats()}"
+        sweep = runtime.sweep_stats()
+        if sweep.specs:
+            trailer += f" | sweep: {sweep.line()}"
+        print(trailer)
     return rc
 
 
@@ -322,6 +455,8 @@ def _dispatch(ns, parser) -> int:
         return 0
     if t == "bench":
         return _cmd_bench(ns)
+    if t == "diff":
+        return _cmd_diff(ns)
     if t == "perf":
         return _cmd_perf(ns)
     if t == "faults":

@@ -482,6 +482,17 @@ class Simulator:
         return self._nprocessed
 
     @property
+    def pending_entries(self) -> int:
+        """Currently scheduled entries (heap + ready deques).
+
+        Unlike :attr:`events_processed` this is maintained *live* by the
+        run loop, so mid-run probes (the timeline sampler) can read the
+        instantaneous ready-queue depth.  Inside a callback the entry
+        being dispatched has already been popped and is not counted.
+        """
+        return self._npending
+
+    @property
     def peak_queue_depth(self) -> int:
         """High-water mark of simultaneously pending entries."""
         return self._peak_pending

@@ -126,6 +126,15 @@ class MetricsRegistry:
     def counter(self, name: str, default: float = 0.0) -> float:
         return self.counters.get(name, default)
 
+    def counters_with_prefix(self, prefix: str) -> Dict[str, float]:
+        """Snapshot of every counter whose name starts with ``prefix``.
+
+        Used by the timeline sampler to grab live counter families
+        (e.g. ``net.retx.*``) mid-run without enumerating names.
+        """
+        return {name: value for name, value in self.counters.items()
+                if name.startswith(prefix)}
+
     def __len__(self) -> int:
         return len(self.counters) + len(self.gauges) + len(self.histograms)
 

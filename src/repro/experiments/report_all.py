@@ -61,8 +61,40 @@ def reproduce_all(quick: bool = True, out: Optional[TextIO] = None,
         if progress:
             emit(f"[{name}: regenerated in {wall:.1f}s wall]")
         emit("")
+    if artifacts is None:
+        emit(_variance_appendix())
+        emit("")
     if progress:
         stats = runtime.cache_stats()
         emit(f"[run cache: {stats.hits - hits0} hits, "
              f"{stats.misses - misses0} simulated specs]")
     return "\n".join(chunks)
+
+
+def _variance_appendix() -> str:
+    """Repetition-statistics appendix (à la *MPI Benchmarking Revisited*).
+
+    Re-measures the headline latency points with per-iteration sampling
+    (``stats=True``) and reports n / mean / min / ci95 per fabric.  In a
+    deterministic simulator the dispersion is expected to be ~0 — the
+    appendix *demonstrates* that, and becomes informative the moment a
+    perturbation (faults, what-if knobs) makes iterations differ.
+    """
+    from repro.experiments.ascii_plot import table
+    from repro.microbench.common import series_from_payload
+    from repro.runtime.spec import RunSpec
+
+    specs = [RunSpec.microbench("latency", net, sizes=(4, 16384), stats=True)
+             for net in ("infiniband", "myrinet", "quadrics")]
+    rows = []
+    for spec, payload in zip(specs, runtime.run_specs(specs)):
+        if runtime.is_error_payload(payload):
+            continue
+        series = series_from_payload(payload)
+        for x, s in sorted((series.stats or {}).items()):
+            rows.append([spec.network, f"{int(x)} B", s["n"],
+                         f"{s['mean']:.3f}", f"{s['min']:.3f}",
+                         f"{s['ci95']:.4f}"])
+    return table(["network", "size", "n", "mean us", "min us", "ci95"],
+                 rows, title="appendix: repetition statistics "
+                             "(per-iteration latency samples)")

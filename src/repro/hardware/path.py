@@ -322,6 +322,23 @@ class PipelinePath:
         ev.succeed(delay=max(0.0, done - self.sim.now))
         return ev
 
+    def backlog_us(self, now: float) -> float:
+        """Worst queued-ahead time on this path's stage servers.
+
+        ``max(next_free - now)`` over the stages: how far into the
+        future the busiest stage is already reserved — the saturation
+        signal the timeline sampler plots (a loaded link shows a
+        sustained positive backlog, an idle one sits at zero).
+        """
+        backlog = 0.0
+        for flat in self._flat:
+            srv = flat[0]
+            if srv is not None:
+                queued = srv.next_free - now
+                if queued > backlog:
+                    backlog = queued
+        return backlog
+
     def zero_load_latency(self, nbytes: int) -> float:
         """Latency of ``nbytes`` through an idle path (no reservations).
 

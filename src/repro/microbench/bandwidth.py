@@ -10,9 +10,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.microbench.common import PAPER_BW_SIZES, Series, bandwidth_mbps, run_pair
+from repro.microbench.common import (PAPER_BW_SIZES, Series, bandwidth_mbps,
+                                     run_pair, summarize_samples)
 
-__all__ = ["measure_bandwidth", "measure_bidir_bandwidth", "stream_fn", "bistream_fn"]
+__all__ = ["measure_bandwidth", "measure_bidir_bandwidth", "stream_fn",
+           "bistream_fn", "stream_probe_fn"]
 
 
 def stream_fn(comm, nbytes: int, window: int, rounds: int, warmup_rounds: int):
@@ -31,6 +33,48 @@ def stream_fn(comm, nbytes: int, window: int, rounds: int, warmup_rounds: int):
                 reqs.append(req)
             yield from comm.waitall(reqs)
         # final handshake so timing covers delivery of the last window
+        yield from comm.recv(ack, source=1, tag=9)
+        elapsed = comm.sim.now - t0
+        return bandwidth_mbps(rounds * window * nbytes, elapsed)
+    else:
+        bufs = [comm.alloc(nbytes) for _ in range(window)]
+        ack = comm.alloc(4)
+        for r in range(total_rounds):
+            reqs = []
+            for w in range(window):
+                req = yield from comm.irecv(bufs[w], source=0, tag=0)
+                reqs.append(req)
+            yield from comm.waitall(reqs)
+        yield from comm.send(ack, dest=0, tag=9)
+
+
+def stream_probe_fn(comm, nbytes: int, window: int, rounds: int,
+                    warmup_rounds: int, samples: list):
+    """:func:`stream_fn` with per-round MB/s recorded into ``samples``.
+
+    The event sequence matches the plain stream exactly; rank 0 just
+    reads the clock once more per post-warmup round.  Per-round rates
+    exclude the final delivery handshake, so their mean sits slightly
+    above the headline sustained figure — they measure dispersion, not
+    a second bandwidth estimate.
+    """
+    total_rounds = warmup_rounds + rounds
+    if comm.rank == 0:
+        bufs = [comm.alloc(nbytes) for _ in range(window)]
+        ack = comm.alloc(4)
+        t0 = 0.0
+        for r in range(total_rounds):
+            if r == warmup_rounds:
+                t0 = comm.sim.now
+            t_round = comm.sim.now
+            reqs = []
+            for w in range(window):
+                req = yield from comm.isend(bufs[w], dest=1, tag=0)
+                reqs.append(req)
+            yield from comm.waitall(reqs)
+            if r >= warmup_rounds:
+                samples.append(bandwidth_mbps(window * nbytes,
+                                              comm.sim.now - t_round))
         yield from comm.recv(ack, source=1, tag=9)
         elapsed = comm.sim.now - t0
         return bandwidth_mbps(rounds * window * nbytes, elapsed)
@@ -74,13 +118,29 @@ def measure_bandwidth(network: str, sizes: Sequence[int] = PAPER_BW_SIZES,
                       window: int = 16, rounds: int = 12, warmup_rounds: int = 3,
                       net_overrides: Optional[dict] = None,
                       mpi_options: Optional[dict] = None,
-                      faults: Optional[dict] = None) -> Series:
-    """Fig. 2 (and Fig. 27 with ``net_overrides={'bus_kind': 'pci'}``)."""
+                      faults: Optional[dict] = None,
+                      stats: bool = False) -> Series:
+    """Fig. 2 (and Fig. 27 with ``net_overrides={'bus_kind': 'pci'}``).
+
+    ``stats=True`` attaches per-size round-rate statistics
+    (``Series.stats``) without changing the headline points.
+    """
     series = Series(f"{network} W={window}")
+    if stats:
+        series.stats = {}
     for n in sizes:
-        bw, _ = run_pair(stream_fn, network, args=(n, window, rounds, warmup_rounds),
-                         net_overrides=net_overrides, mpi_options=mpi_options,
-                         faults=faults)
+        if stats:
+            samples: list = []
+            bw, _ = run_pair(stream_probe_fn, network,
+                             args=(n, window, rounds, warmup_rounds, samples),
+                             net_overrides=net_overrides,
+                             mpi_options=mpi_options, faults=faults)
+            series.stats[float(n)] = summarize_samples(samples)
+        else:
+            bw, _ = run_pair(stream_fn, network,
+                             args=(n, window, rounds, warmup_rounds),
+                             net_overrides=net_overrides,
+                             mpi_options=mpi_options, faults=faults)
         series.add(n, bw)
     return series
 

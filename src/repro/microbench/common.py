@@ -14,6 +14,7 @@ __all__ = [
     "PAPER_LAT_SIZES", "PAPER_BW_SIZES", "PAPER_SMALL_SIZES",
     "Series", "run_pair", "bandwidth_mbps", "metrics_sink",
     "bench_registry", "series_from_payload", "measure",
+    "summarize_samples",
 ]
 
 #: active metrics sinks; run_pair folds each world's registry into the
@@ -39,12 +40,41 @@ PAPER_BW_SIZES: Sequence[int] = tuple(4 ** k for k in range(1, 11))
 PAPER_SMALL_SIZES: Sequence[int] = tuple(2 ** k for k in range(1, 11))
 
 
+def summarize_samples(samples: Sequence[float]) -> dict:
+    """Repetition statistics for one measured point (n/mean/min/max/ci95).
+
+    ``ci95`` is the normal-approximation 95% confidence half-width
+    (1.96 * s / sqrt(n)), the dispersion report recommended by the
+    "MPI Benchmarking Revisited" line of work; 0.0 when n < 2 (and, in
+    this deterministic simulator, usually 0.0 exactly — the field earns
+    its keep under fault injection and what-if perturbations).
+    """
+    n = len(samples)
+    if n == 0:
+        return {"n": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                "std": 0.0, "ci95": 0.0}
+    mean = sum(samples) / n
+    if n == 1:
+        return {"n": 1, "mean": mean, "min": mean, "max": mean,
+                "std": 0.0, "ci95": 0.0}
+    var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    std = var ** 0.5
+    return {"n": n, "mean": mean, "min": min(samples), "max": max(samples),
+            "std": std, "ci95": 1.96 * std / n ** 0.5}
+
+
 @dataclass
 class Series:
-    """One plotted series: label + (x, y) points."""
+    """One plotted series: label + (x, y) points.
+
+    ``stats`` (optional, produced by benches run with ``stats=True``)
+    maps each x to the per-repetition summary of
+    :func:`summarize_samples`.
+    """
 
     label: str
     points: List[Tuple[float, float]] = field(default_factory=list)
+    stats: Optional[Dict[float, dict]] = None
 
     def add(self, x: float, y: float) -> None:
         self.points.append((x, y))
@@ -121,8 +151,11 @@ def bench_registry() -> Dict[str, Callable[..., Series]]:
 
 def series_from_payload(payload: dict) -> Series:
     """Rebuild a :class:`Series` from an executed microbench payload."""
+    stats = payload.get("stats")
     return Series(payload["label"],
-                  [(x, y) for x, y in payload["points"]])
+                  [(x, y) for x, y in payload["points"]],
+                  stats={float(x): dict(s) for x, s in stats.items()}
+                  if stats else None)
 
 
 def measure(bench: str, network: str, **kwargs) -> Series:

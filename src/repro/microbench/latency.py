@@ -10,9 +10,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.microbench.common import PAPER_LAT_SIZES, Series, run_pair
+from repro.microbench.common import (PAPER_LAT_SIZES, Series, run_pair,
+                                     summarize_samples)
 
-__all__ = ["measure_latency", "measure_bidir_latency", "pingpong_fn", "pingping_fn"]
+__all__ = ["measure_latency", "measure_bidir_latency", "pingpong_fn",
+           "pingping_fn", "pingpong_probe_fn"]
 
 
 def pingpong_fn(comm, nbytes: int, iters: int, warmup: int):
@@ -26,6 +28,33 @@ def pingpong_fn(comm, nbytes: int, iters: int, warmup: int):
         if comm.rank == 0:
             yield from comm.send(buf, dest=1, tag=0)
             yield from comm.recv(buf, source=1, tag=1)
+        else:
+            yield from comm.recv(buf, source=0, tag=0)
+            yield from comm.send(buf, dest=0, tag=1)
+    if comm.rank == 0:
+        return (comm.sim.now - t0) / (2 * iters)
+
+
+def pingpong_probe_fn(comm, nbytes: int, iters: int, warmup: int,
+                      samples: list):
+    """:func:`pingpong_fn` with per-iteration one-way times recorded.
+
+    Identical event sequence to the plain ping-pong (so the headline
+    mean is unchanged); rank 0 additionally appends each post-warmup
+    iteration's half round-trip to ``samples`` for repetition stats.
+    """
+    buf = comm.alloc(nbytes)
+    total = warmup + iters
+    t0 = 0.0
+    for i in range(total):
+        if i == warmup:
+            t0 = comm.sim.now
+        t_iter = comm.sim.now
+        if comm.rank == 0:
+            yield from comm.send(buf, dest=1, tag=0)
+            yield from comm.recv(buf, source=1, tag=1)
+            if i >= warmup:
+                samples.append((comm.sim.now - t_iter) / 2.0)
         else:
             yield from comm.recv(buf, source=0, tag=0)
             yield from comm.send(buf, dest=0, tag=1)
@@ -54,13 +83,29 @@ def measure_latency(network: str, sizes: Sequence[int] = PAPER_LAT_SIZES,
                     iters: int = 30, warmup: int = 5,
                     net_overrides: Optional[dict] = None,
                     mpi_options: Optional[dict] = None,
-                    faults: Optional[dict] = None) -> Series:
-    """Fig. 1 (and Fig. 26 with ``net_overrides={'bus_kind': 'pci'}``)."""
+                    faults: Optional[dict] = None,
+                    stats: bool = False) -> Series:
+    """Fig. 1 (and Fig. 26 with ``net_overrides={'bus_kind': 'pci'}``).
+
+    ``stats=True`` records every post-warmup iteration and attaches
+    per-size repetition statistics (``Series.stats``) without changing
+    the headline points.
+    """
     series = Series(network)
+    if stats:
+        series.stats = {}
     for n in sizes:
-        lat, _ = run_pair(pingpong_fn, network, args=(n, iters, warmup),
-                          net_overrides=net_overrides, mpi_options=mpi_options,
-                          faults=faults)
+        if stats:
+            samples: list = []
+            lat, _ = run_pair(pingpong_probe_fn, network,
+                              args=(n, iters, warmup, samples),
+                              net_overrides=net_overrides,
+                              mpi_options=mpi_options, faults=faults)
+            series.stats[float(n)] = summarize_samples(samples)
+        else:
+            lat, _ = run_pair(pingpong_fn, network, args=(n, iters, warmup),
+                              net_overrides=net_overrides,
+                              mpi_options=mpi_options, faults=faults)
         series.add(n, lat)
     return series
 

@@ -15,7 +15,7 @@ overhead measurements fall out of the same accounting.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.core.engine import Simulator
 from repro.hardware.cpu import HostCPU
@@ -40,6 +40,10 @@ class MpiDevice:
     #: RDMA-slot collectives enabled (set by the core when the channel
     #: has the capability and the option asks for it)
     rdma_coll: bool = False
+    #: live rendezvous in-flight watch, installed per run by the
+    #: timeline sampler (duck-typed ``.n`` / ``.dec``); the default None
+    #: keeps the untimed hot path at a single attribute check
+    rndv_watch: Optional[Any] = None
 
     def __init__(self, sim: Simulator, rank: int, cpu: HostCPU, fabric, port,
                  space: AddressSpace, recorder=None,
@@ -103,6 +107,11 @@ class MpiDevice:
             tally[1] += nbytes
         sizes = self._size_counts
         sizes[nbytes] = sizes.get(nbytes, 0) + 1
+        if proto == "rndv":
+            watch = self.rndv_watch
+            if watch is not None:
+                watch.n += 1
+                req.done.add_callback(watch.dec)
         tracer = self.sim.tracer
         if tracer.wants_mpi:
             tracer.instant(self.sim.now, "mpi", f"rank{self.rank}",

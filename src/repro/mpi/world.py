@@ -37,6 +37,7 @@ from repro.hardware.memory import AddressSpace
 from repro.mpi.communicator import Communicator, MPIEndpoint
 from repro.mpi.devices import device_class_for
 from repro.networks import canonical_network, make_fabric
+from repro.obs.timeline import TimelineSampler, active_capture
 from repro.profiling.recorder import Recorder
 
 __all__ = ["MPIWorld", "WorldResult", "mpi_run"]
@@ -153,6 +154,11 @@ class MPIWorld:
         self.comms: List[Communicator] = [
             Communicator(ep, all_ranks, ctx=0) for ep in self.endpoints
         ]
+        # timeline sampling is opt-in: a capture() context (pushed by
+        # execute_spec for timeline-enabled RunSpecs) makes every world
+        # built inside it carry a sampler; the default is zero overhead
+        cfg = active_capture()
+        self._timeline = TimelineSampler(self, cfg) if cfg is not None else None
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -197,10 +203,14 @@ class MPIWorld:
                 for r in range(self.nprocs)
             ]
         done = AllOf(self.sim, procs)
+        if self._timeline is not None:
+            self._timeline.start()
         t0 = time.perf_counter()
         returns = self.sim.run(until_event=done, until=until)
         self._wall_s = time.perf_counter() - t0
         self._finalize_metrics()
+        if self._timeline is not None:
+            self._timeline.cfg.collected.append(self._timeline.finish())
         return WorldResult(elapsed_us=self.sim.now, returns=returns,
                            recorder=self.recorder, world=self,
                            metrics=self.sim.metrics)

@@ -254,6 +254,34 @@ class Fabric:
         self._payload_bytes = 0
         self._wire_bytes = 0
 
+    def timeline_sample(self, now: float) -> Dict[str, float]:
+        """Live channel snapshot for the timeline sampler.
+
+        Reads only: the batched per-packet tallies (cumulative until
+        ``flush_metrics`` clears them at end of run), per-port RX queue
+        depths, and the worst queued-ahead backlog across the cached
+        pipeline paths.  Called at most once per sampling interval, so
+        the O(ports + paths) scan is off the per-message hot path.
+        """
+        depth_total = depth_max = 0
+        for port in self.ports.values():
+            d = len(port.rx)
+            depth_total += d
+            if d > depth_max:
+                depth_max = d
+        backlog = 0.0
+        for path in self._paths.values():
+            b = path.backlog_us(now)
+            if b > backlog:
+                backlog = b
+        return {
+            "net.rx.depth.total": float(depth_total),
+            "net.rx.depth.max": float(depth_max),
+            "net.pkts": float(sum(self._pkt_counts.values())),
+            "hw.wire.bytes": float(self._wire_bytes),
+            "hw.path.backlog_us": backlog,
+        }
+
     # -- introspection ------------------------------------------------------
     def describe(self) -> str:
         return f"{self.label} fabric on {self.cluster.nnodes} nodes"

@@ -1,0 +1,24 @@
+"""Time-resolved observability: timelines, run ledger, diff reports.
+
+Three consumers sit on top of the end-of-run counters PR 2 introduced:
+
+- :mod:`repro.obs.timeline` — a deterministic sim-time sampler that
+  snapshots live engine/fabric/MPI state at fixed simulated intervals,
+  opt-in per spec via ``RunSpec.params["timeline"]``;
+- :mod:`repro.obs.ledger` — an append-only JSONL stream of sweep
+  lifecycle events (``run_started`` / ``run_finished`` / ``run_error``
+  / ``cache_hit``) emitted by the sweep executor;
+- :mod:`repro.obs.diff` — the ``repro diff`` CLI target: counter
+  deltas, critical-path decomposition deltas and ASCII timeline
+  overlays between two runs.
+"""
+
+from repro.obs.ledger import (LEDGER_SCHEMA, RunLedger, read_ledger,
+                              validate_ledger)
+from repro.obs.timeline import (DEFAULT_INTERVAL_US, TimelineSampler,
+                                active_capture, capture)
+
+__all__ = [
+    "DEFAULT_INTERVAL_US", "TimelineSampler", "active_capture", "capture",
+    "LEDGER_SCHEMA", "RunLedger", "read_ledger", "validate_ledger",
+]

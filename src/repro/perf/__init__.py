@@ -7,6 +7,7 @@ normalized, and :mod:`repro.perf.harness` for the measurement protocol.
 from repro.perf.harness import (bench_filename, bench_record, compare_totals,
                                 git_rev, load_bench, measure_tree,
                                 render_report, run_suite, write_bench)
+from repro.perf.history import collect_bench_files, load_history, render_history
 from repro.perf.suite import QUICK_SUITE, SUITE, PerfTarget, suite_by_name
 
 __all__ = [
@@ -14,4 +15,5 @@ __all__ = [
     "run_suite", "measure_tree", "bench_record", "write_bench",
     "load_bench", "compare_totals", "bench_filename", "git_rev",
     "render_report",
+    "collect_bench_files", "load_history", "render_history",
 ]

@@ -1,0 +1,78 @@
+"""``repro perf report``: events/sec history from committed BENCH files.
+
+Each ``repro perf`` run writes a ``BENCH_<rev>.json`` snapshot (schema
+in :mod:`repro.perf.harness`); committing them gives the repo a
+performance paper trail.  This module reads every snapshot in a
+directory, orders them by timestamp, and renders the trend — per-file
+totals plus the suite events/sec ratio between consecutive snapshots —
+so a regression shows up as a ratio dip without re-running anything.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import List, Optional, Sequence
+
+from repro.perf.harness import compare_totals, load_bench
+
+__all__ = ["collect_bench_files", "render_history"]
+
+
+def collect_bench_files(root: str = ".") -> List[str]:
+    """``BENCH_*.json`` paths under ``root`` (not recursive), sorted."""
+    return sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+
+
+def load_history(paths: Sequence[str]) -> List[dict]:
+    """Load BENCH records, oldest first; unreadable files are skipped.
+
+    Each record gains a ``_file`` key with its basename for rendering.
+    """
+    records = []
+    for path in paths:
+        try:
+            record = load_bench(path)
+        except (OSError, ValueError, KeyError):
+            continue
+        record["_file"] = os.path.basename(path)
+        records.append(record)
+    records.sort(key=lambda r: r.get("timestamp", ""))
+    return records
+
+
+def render_history(records: Sequence[dict]) -> str:
+    """Table + trend bars for an ordered list of BENCH records."""
+    from repro.experiments.ascii_plot import bar_chart, table
+
+    if not records:
+        return ("no BENCH_*.json files found; run `python -m repro perf` "
+                "to create one")
+    rows = []
+    prev: Optional[dict] = None
+    for record in records:
+        tot = record.get("totals", {})
+        ratio = "-"
+        if prev is not None:
+            try:
+                ratio = f"{compare_totals(record, prev)['ratio']:.2f}x"
+            except (KeyError, ZeroDivisionError):
+                ratio = "-"
+        rows.append([
+            record.get("_file", "?"),
+            record.get("rev", "?"),
+            record.get("timestamp", "?"),
+            len(record.get("targets", ())),
+            f"{tot.get('wall_s', 0.0):.2f}s",
+            f"{tot.get('events_per_sec', 0.0):,.0f}",
+            ratio,
+        ])
+        prev = record
+    out = [table(["file", "rev", "timestamp", "targets", "wall",
+                  "ev/s", "vs prev"], rows, title="perf history")]
+    labels = [r.get("rev", "?") for r in records]
+    values = [r.get("totals", {}).get("events_per_sec", 0.0) for r in records]
+    out.append("")
+    out.append(bar_chart(labels, values, title="suite events/sec by revision",
+                         unit=" ev/s"))
+    return "\n".join(out)

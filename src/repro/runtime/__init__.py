@@ -17,46 +17,56 @@ The layer gives every artifact driver three properties for free:
   processes, so results are content-addressed, salted by code version.
 
 Module-level helpers hold the process-wide executor configuration that
-the CLI (``--jobs`` / ``--no-cache`` / ``--cache-dir``) and the
-benchmark harness adjust::
+the CLI (``--jobs`` / ``--no-cache`` / ``--cache-dir`` / ``--ledger`` /
+``--progress``) and the benchmark harness adjust::
 
     from repro import runtime
-    runtime.configure(jobs=4)
+    runtime.configure(jobs=4, ledger="runs.jsonl")
     payloads = runtime.run_specs(specs)
 """
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.metrics import MetricsRegistry
+from repro.obs.ledger import RunLedger
 from repro.runtime.cache import (DEFAULT_CACHE_DIR, CacheStats, ResultCache,
                                  code_salt)
 from repro.runtime.executor import (SpecExecutionError, SweepError,
-                                    SweepExecutor, execute_spec,
+                                    SweepExecutor, SweepStats, execute_spec,
                                     is_error_payload)
 from repro.runtime.spec import (SPEC_SCHEMA_VERSION, RunSpec, freeze_mapping,
                                 thaw_mapping)
 
 __all__ = [
     "RunSpec", "ResultCache", "CacheStats", "SweepExecutor",
-    "SweepError", "SpecExecutionError", "is_error_payload",
+    "SweepError", "SpecExecutionError", "SweepStats", "is_error_payload",
     "execute_spec", "configure", "reset", "run_spec", "run_specs",
-    "get_cache", "get_executor", "cache_stats", "metrics",
+    "get_cache", "get_executor", "cache_stats", "metrics", "sweep_stats",
     "DEFAULT_CACHE_DIR", "SPEC_SCHEMA_VERSION", "code_salt",
     "freeze_mapping", "thaw_mapping",
 ]
 
 #: process-wide runtime state; adjusted via configure()/reset()
 _state = {"jobs": 1, "cache": ResultCache(), "metrics": MetricsRegistry(),
-          "timeout_s": None, "strict": False}
+          "timeout_s": None, "strict": False,
+          "ledger": None, "progress": None, "sweep": SweepStats()}
+
+
+def _stderr_progress(msg: str) -> None:
+    print(msg, file=sys.stderr, flush=True)
 
 
 def configure(jobs: Optional[int] = None, enabled: Optional[bool] = None,
               disk_dir: Optional[Union[str, Path, bool]] = None,
               timeout_s: Optional[float] = None,
-              strict: Optional[bool] = None) -> None:
+              strict: Optional[bool] = None,
+              ledger: Optional[Union[str, Path, RunLedger]] = None,
+              progress: Optional[Union[bool, Callable[[str], None]]] = None,
+              ) -> None:
     """Adjust the process-wide executor.
 
     ``jobs``: worker count for subsequent sweeps (1 = serial).
@@ -65,6 +75,10 @@ def configure(jobs: Optional[int] = None, enabled: Optional[bool] = None,
     on-disk JSON tier; existing in-memory entries are kept.
     ``timeout_s``: per-spec wall-clock budget (``--run-timeout``).
     ``strict``: re-raise sweep failures instead of returning error payloads.
+    ``ledger``: a path (or open :class:`~repro.obs.ledger.RunLedger`) to
+    append JSONL run-lifecycle events to (``--ledger``).
+    ``progress``: True prints live per-spec lines to stderr; a callable
+    receives them instead (``--progress``).
     """
     if jobs is not None:
         _state["jobs"] = max(1, int(jobs))
@@ -81,6 +95,19 @@ def configure(jobs: Optional[int] = None, enabled: Optional[bool] = None,
         _state["timeout_s"] = float(timeout_s) if timeout_s > 0 else None
     if strict is not None:
         _state["strict"] = bool(strict)
+    if ledger is not None:
+        old = _state["ledger"]
+        if old is not None:
+            old.close()
+        _state["ledger"] = (ledger if isinstance(ledger, RunLedger)
+                            else RunLedger(ledger))
+    if progress is not None:
+        if progress is True:
+            _state["progress"] = _stderr_progress
+        elif progress is False:
+            _state["progress"] = None
+        else:
+            _state["progress"] = progress
 
 
 def reset(jobs: int = 1, enabled: bool = True,
@@ -91,6 +118,12 @@ def reset(jobs: int = 1, enabled: bool = True,
     _state["metrics"] = MetricsRegistry()
     _state["timeout_s"] = None
     _state["strict"] = False
+    old = _state["ledger"]
+    if old is not None:
+        old.close()
+    _state["ledger"] = None
+    _state["progress"] = None
+    _state["sweep"] = SweepStats()
 
 
 def get_cache() -> Optional[ResultCache]:
@@ -103,12 +136,20 @@ def get_executor() -> SweepExecutor:
     return SweepExecutor(jobs=_state["jobs"], cache=_state["cache"],
                          metrics=_state["metrics"],
                          timeout_s=_state["timeout_s"],
-                         strict=_state["strict"])
+                         strict=_state["strict"],
+                         ledger=_state["ledger"],
+                         progress=_state["progress"],
+                         sweep=_state["sweep"])
 
 
 def metrics() -> MetricsRegistry:
     """Process-wide aggregate of metrics from every resolved app run."""
     return _state["metrics"]
+
+
+def sweep_stats() -> SweepStats:
+    """Process-wide sweep accounting (specs, wall time, cache service)."""
+    return _state["sweep"]
 
 
 def run_specs(specs: Sequence[RunSpec]) -> List[dict]:

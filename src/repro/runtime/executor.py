@@ -22,14 +22,17 @@ from __future__ import annotations
 import functools
 import inspect
 import multiprocessing
+import time
 import traceback
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import MetricsRegistry
+from repro.obs.timeline import DEFAULT_INTERVAL_US, capture
 from repro.runtime.cache import ResultCache
 from repro.runtime.spec import KIND_APP, KIND_MICROBENCH, RunSpec, thaw_mapping
 
-__all__ = ["execute_spec", "SweepExecutor", "SweepError",
+__all__ = ["execute_spec", "SweepExecutor", "SweepError", "SweepStats",
            "SpecExecutionError", "KIND_ERROR", "is_error_payload"]
 
 #: payload kind marking a spec that raised instead of producing a result
@@ -70,7 +73,39 @@ def execute_spec(spec: RunSpec) -> dict:
     Raises on failure (callers wanting isolation go through
     :class:`SweepExecutor`).  Must stay importable at module top level
     (no closures) so ``multiprocessing`` workers can receive it.
+
+    A truthy ``timeline`` entry in ``spec.params`` runs the whole spec
+    under an :func:`repro.obs.timeline.capture` context: every
+    :class:`~repro.mpi.world.MPIWorld` built for the spec samples its
+    live counters on a fixed sim-time grid, and the collected timelines
+    ride in ``payload["timeline"]``.  The grid is pure simulation time,
+    so timeline payloads stay bit-deterministic (and cacheable) exactly
+    like untimed ones.
     """
+    interval = _timeline_interval(spec)
+    if interval is None:
+        return _execute_raw(spec)
+    with capture(interval_us=interval) as cfg:
+        payload = _execute_raw(spec)
+    payload["timeline"] = cfg.collected
+    return payload
+
+
+def _timeline_interval(spec: RunSpec) -> Optional[float]:
+    """Sampling interval requested by ``spec.params["timeline"]``, or None.
+
+    ``True`` (and the CLI's bare ``--timeline``) selects the default
+    interval; any other truthy value is the interval in sim-µs.
+    """
+    value = thaw_mapping(spec.params).get("timeline")
+    if not value:
+        return None
+    if value is True:
+        return DEFAULT_INTERVAL_US
+    return float(value)
+
+
+def _execute_raw(spec: RunSpec) -> dict:
     if spec.kind == KIND_APP:
         from repro.apps.runner import simulate_app_spec
 
@@ -111,6 +146,9 @@ def _execute_microbench(spec: RunSpec) -> dict:
         raise ValueError(f"microbench {spec.target!r} has no analytic "
                          f"fast path (know {fastpath.FASTPATH_BENCHES})")
     kwargs = thaw_mapping(spec.params)
+    # timeline is executor-level (handled by execute_spec's capture
+    # context), not a bench-function parameter
+    kwargs.pop("timeline", None)
     try:
         fn = bench_registry()[spec.target]
     except KeyError:
@@ -144,6 +182,11 @@ def _execute_microbench(spec: RunSpec) -> dict:
     payload = {"kind": KIND_MICROBENCH, "bench": spec.target,
                "label": series.label,
                "points": [[float(x), float(y)] for x, y in series.points]}
+    stats = getattr(series, "stats", None)
+    if stats:
+        # per-size repetition statistics (n / mean / min / max / ci95),
+        # emitted by benches run with stats=True
+        payload["stats"] = {str(x): dict(s) for x, s in stats.items()}
     if sink:
         payload["metrics"] = sink.to_dict()
     return payload
@@ -177,15 +220,68 @@ def _safe_execute(spec: RunSpec, timeout_s: Optional[float] = None,
     from repro.core import engine
 
     engine.set_wall_timeout(timeout_s)
+    t0 = time.perf_counter()
     try:
-        return execute_spec(spec)
+        payload = execute_spec(spec)
     except Exception as exc:
         payload = _error_payload(spec, exc)
         if keep_exception:
             payload["_exc"] = exc
-        return payload
     finally:
         engine.set_wall_timeout(None)
+    # end-to-end wall time for this spec (setup + run + teardown), a
+    # side channel like "_wall_s": popped before caching, so payloads
+    # stay bit-deterministic
+    payload["_elapsed_s"] = time.perf_counter() - t0
+    return payload
+
+
+def _ledger_summary(payload: dict) -> dict:
+    """Compact per-run facts for the ``run_finished`` ledger event."""
+    out: dict = {}
+    m = payload.get("metrics") or {}
+    sim_us = m.get("gauges", {}).get("engine.sim_time_us")
+    if sim_us is not None:
+        out["sim_us"] = round(sim_us, 3)
+    events = m.get("counters", {}).get("engine.events_total")
+    if events:
+        out["events"] = int(events)
+    retx = m.get("counters", {}).get("net.retx.pkts", 0.0)
+    if retx:
+        out["retx_pkts"] = int(retx)
+    timelines = payload.get("timeline")
+    if timelines:
+        out["timeline_samples"] = sum(len(t.get("t", ())) for t in timelines)
+    return out
+
+
+@dataclass
+class SweepStats:
+    """Accumulated sweep-level accounting across one executor's lifetime.
+
+    Wall-clock lives here (and in the run ledger), *outside* the cached
+    payloads, so recording it never perturbs payload determinism.
+    """
+
+    specs: int = 0          #: specs requested (duplicates included)
+    unique: int = 0         #: distinct digests among them
+    executed: int = 0       #: simulated successfully this run
+    cached: int = 0         #: served from the result cache
+    errors: int = 0         #: resolved to error payloads
+    wall_s: float = 0.0     #: summed per-spec wall time (simulated only)
+
+    def line(self) -> str:
+        """One-line human summary (the ``sweep:`` trailer of the CLI)."""
+        parts = [f"{self.specs} spec(s) ({self.unique} unique)"]
+        if self.executed:
+            mean = self.wall_s / self.executed
+            parts.append(f"{self.executed} simulated in {self.wall_s:.2f}s "
+                         f"wall (mean {mean:.2f}s)")
+        if self.cached:
+            parts.append(f"{self.cached} cache-served")
+        if self.errors:
+            parts.append(f"{self.errors} FAILED")
+        return ", ".join(parts)
 
 
 class SweepExecutor:
@@ -201,23 +297,51 @@ class SweepExecutor:
     in its slot instead of aborting the sweep; pass ``strict=True`` to
     re-raise a :class:`SweepError` after the survivors finish.
     ``timeout_s`` bounds each spec's wall-clock time (None = unlimited).
+
+    Observability hooks (all optional, all out-of-band):
+
+    - ``ledger`` — a :class:`repro.obs.ledger.RunLedger`; every sweep
+      emits structured JSONL lifecycle events (``sweep_started``,
+      ``cache_hit``, ``run_started``, ``run_finished``, ``run_error``,
+      ``sweep_finished``) with spec digests and wall durations.
+    - ``progress`` — a callable taking one string; called with a short
+      live line per resolved spec.
+    - ``sweep`` — a :class:`SweepStats` to accumulate into (the runtime
+      facade shares one across an entire CLI invocation).
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  timeout_s: Optional[float] = None,
-                 strict: bool = False) -> None:
+                 strict: bool = False,
+                 ledger=None,
+                 progress: Optional[Callable[[str], None]] = None,
+                 sweep: Optional[SweepStats] = None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.timeout_s = timeout_s
         self.strict = strict
+        self.ledger = ledger
+        self.progress = progress
+        self.sweep = sweep if sweep is not None else SweepStats()
         #: aggregate of the per-run metrics of every unique payload this
         #: executor resolved (cache hits included — the metrics describe
         #: the simulated run, however it was obtained)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
 
+    # -- observability plumbing (no-ops when hooks are unset) ----------
+    def _emit(self, event: str, **fields) -> None:
+        if self.ledger is not None:
+            self.ledger.emit(event, **fields)
+
+    def _progress(self, msg: str) -> None:
+        if self.progress is not None:
+            self.progress(msg)
+
     def run(self, specs: Sequence[RunSpec]) -> List[dict]:
         specs = list(specs)
+        sweep = self.sweep
+        sweep.specs += len(specs)
         resolved: Dict[str, dict] = {}
         pending: List[RunSpec] = []
         seen_pending = set()
@@ -228,16 +352,38 @@ class SweepExecutor:
             payload = self.cache.lookup(spec) if self.cache is not None else None
             if payload is not None:
                 resolved[digest] = payload
+                sweep.cached += 1
+                self._emit("cache_hit", spec=spec.describe(), digest=digest)
             else:
                 pending.append(spec)
                 seen_pending.add(digest)
+        sweep.unique += len(resolved) + len(pending)
         errors: List[dict] = []
         if pending:
-            for spec, payload in zip(pending, self._execute_all(pending)):
+            self._emit("sweep_started", specs=len(specs),
+                       unique=len(resolved) + len(pending),
+                       cached=len(resolved), pending=len(pending),
+                       jobs=self.jobs)
+            t_sweep = time.perf_counter()
+            done = 0
+            for spec, payload in self._iter_execute(pending):
                 resolved[spec.digest] = payload
+                elapsed = payload.pop("_elapsed_s", 0.0)
+                done += 1
+                tag = f"[{done}/{len(pending)}]"
                 if is_error_payload(payload):
                     errors.append(payload)
+                    sweep.errors += 1
+                    err = payload.get("error", {})
+                    self._emit("run_error", spec=spec.describe(),
+                               digest=spec.digest, wall_s=round(elapsed, 4),
+                               type=err.get("type", "Exception"),
+                               message=err.get("message", ""))
+                    self._progress(f"{tag} FAILED {spec.describe()} "
+                                   f"({err.get('type', 'Exception')})")
                     continue
+                sweep.executed += 1
+                sweep.wall_s += elapsed
                 wall = payload.pop("_wall_s", None)
                 if wall:
                     # aggregate real time (and the event count it bought)
@@ -250,6 +396,15 @@ class SweepExecutor:
                         m.get("counters", {}).get("engine.events_total", 0.0))
                 if self.cache is not None:
                     self.cache.store(spec, payload)
+                summary = _ledger_summary(payload)
+                self._emit("run_finished", spec=spec.describe(),
+                           digest=spec.digest, wall_s=round(elapsed, 4),
+                           **summary)
+                self._progress(f"{tag} done {spec.describe()} "
+                               f"({elapsed:.2f}s)")
+            self._emit("sweep_finished", executed=len(pending) - len(errors),
+                       errors=len(errors),
+                       wall_s=round(time.perf_counter() - t_sweep, 4))
         for payload in resolved.values():
             if is_error_payload(payload):
                 continue
@@ -271,15 +426,29 @@ class SweepExecutor:
             raise SpecExecutionError(payload)
         return payload
 
-    def _execute_all(self, pending: List[RunSpec]) -> List[dict]:
+    def _iter_execute(self, pending: List[RunSpec]
+                      ) -> Iterator[Tuple[RunSpec, dict]]:
+        """Yield ``(spec, payload)`` pairs in input order as they finish.
+
+        Serial execution emits ``run_started`` just in time; the pool
+        path announces the whole batch up front (workers run remotely)
+        and streams completions back through order-preserving ``imap``
+        so ledger/progress lines appear as specs finish, not after the
+        barrier at the end of ``pool.map``.
+        """
         if self.jobs <= 1 or len(pending) == 1:
-            return [_safe_execute(spec, timeout_s=self.timeout_s,
-                                  keep_exception=True)
-                    for spec in pending]
+            for spec in pending:
+                self._emit("run_started", spec=spec.describe(),
+                           digest=spec.digest)
+                yield spec, _safe_execute(spec, timeout_s=self.timeout_s,
+                                          keep_exception=True)
+            return
+        for spec in pending:
+            self._emit("run_started", spec=spec.describe(), digest=spec.digest)
         worker = functools.partial(_safe_execute, timeout_s=self.timeout_s)
         nworkers = min(self.jobs, len(pending))
         with multiprocessing.Pool(processes=nworkers) as pool:
-            return pool.map(worker, pending, chunksize=1)
+            yield from zip(pending, pool.imap(worker, pending, chunksize=1))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<SweepExecutor jobs={self.jobs} cache={self.cache!r}>"
