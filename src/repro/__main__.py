@@ -30,6 +30,9 @@ Usage::
     python -m repro diff latency@myrinet latency@quadrics       # A/B observatory
     python -m repro diff bandwidth@infiniband \
         bandwidth@infiniband:rendezvous=send_recv --size 65536
+    python -m repro scale                # 16 -> 4096-rank projections, all fabrics
+    python -m repro scale --network mvapich --ranks 16,64,256,1024,4096
+    python -m repro scale --topology fat_tree --quick   # CI smoke variant
 
 Installed as the ``repro`` console script as well.
 """
@@ -50,7 +53,7 @@ def _cmd_list() -> int:
     print("tables:  " + " ".join(sorted(TABLES)))
     print("apps:    " + " ".join(sorted(PROBLEMS)))
     print("other:   calibration  loggp  sensitivity  validate  report  "
-          "matrix  faults  perf  perf report  bench <name>  "
+          "matrix  faults  perf  perf report  scale  bench <name>  "
           "profile <app.class> <nprocs>  diff <refA> <refB>")
     return 0
 
@@ -190,6 +193,8 @@ def _cmd_bench(ns) -> int:
     timeline = _parse_timeline(ns)
     if timeline is not None:
         kwargs["timeline"] = timeline
+    if ns.topology is not None:
+        kwargs["topology"] = ns.topology
     spec = RunSpec.microbench(name, ns.network, **kwargs)
     payload = runtime.run_spec(spec)
     series = series_from_payload(payload)
@@ -205,6 +210,26 @@ def _cmd_bench(ns) -> int:
         print(table(["size", "n", "mean", "min", "max", "std", "ci95"],
                     rows, title="repetition statistics"))
     _render_timelines(payload, ns.channel)
+    return 0
+
+
+def _cmd_scale(ns) -> int:
+    """``repro scale``: 16 -> 4096-rank projections per fabric."""
+    from repro.experiments.scale import scale_report
+
+    ranks = None
+    if ns.ranks:
+        try:
+            ranks = tuple(int(r) for r in ns.ranks.split(",") if r)
+        except ValueError:
+            raise SystemExit(f"--ranks needs comma-separated integers, "
+                             f"got {ns.ranks!r}") from None
+    networks = [ns.network] if ns.network else None
+    try:
+        print(scale_report(networks=networks, ranks=ranks,
+                           topology=ns.topology, quick=ns.quick))
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
     return 0
 
 
@@ -324,16 +349,18 @@ def main(argv=None) -> int:
         description="Regenerate artifacts from Liu et al. (SC'03) in simulation.")
     parser.add_argument("target", help="figN | tableN | calibration | loggp | "
                                        "sensitivity | profile | trace | "
-                                       "matrix | faults | perf | bench | list")
+                                       "matrix | faults | perf | scale | "
+                                       "bench | list")
     parser.add_argument("args", nargs="*", help="extra arguments (profile: "
                                                 "app.class nprocs; trace: "
                                                 "pingpong | figN | app.class; "
                                                 "bench: microbench name)")
     parser.add_argument("--full", action="store_true",
                         help="full sweeps instead of the quick defaults")
-    parser.add_argument("--network", default="infiniband",
-                        help="network for 'profile'/'trace' "
-                             "(default: infiniband)")
+    parser.add_argument("--network", default=None,
+                        help="network for 'profile'/'trace'/'bench'/'scale' "
+                             "(default: infiniband; 'scale' sweeps all "
+                             "three fabrics when unset)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run independent simulations on N worker "
                              "processes (default: 1 = serial)")
@@ -419,6 +446,14 @@ def main(argv=None) -> int:
                         metavar="NAME",
                         help="timeline channel(s) to chart (repeatable; "
                              "default: auto-pick channels that moved)")
+    parser.add_argument("--ranks", default=None, metavar="N1,N2,...",
+                        help="scale: comma-separated power-of-two rank "
+                             "counts (default: 16,64,256,1024,4096)")
+    parser.add_argument("--topology", default=None, metavar="KIND",
+                        help="scale/bench: switch topology "
+                             "(single | fat_tree | clos | federated_elite; "
+                             "default: scale uses each fabric's native "
+                             "multi-stage topology)")
     ns = parser.parse_args(argv)
 
     runtime.configure(jobs=ns.jobs, enabled=not ns.no_cache,
@@ -444,6 +479,12 @@ def main(argv=None) -> int:
 
 def _dispatch(ns, parser) -> int:
     t = ns.target.lower()
+    if t == "scale":
+        # handled before the default-network substitution: an unset
+        # --network means "sweep all three fabrics" here
+        return _cmd_scale(ns)
+    if ns.network is None:
+        ns.network = "infiniband"
     if t == "list":
         return _cmd_list()
     if t == "trace":

@@ -1,0 +1,330 @@
+"""Scaling projections beyond the 8-node testbed (`repro scale`).
+
+The paper measures three fabrics on eight nodes behind one crossbar.
+This experiment asks what the same models predict at cluster scale —
+16 to 4096 ranks — where a single crossbar no longer exists and each
+vendor's multi-stage topology (:mod:`repro.hardware.topology`) takes
+over: a k-ary InfiniScale fat tree, a federated Elite tree and a
+Myrinet Clos spine.
+
+Three ingredient kinds per fabric, cheapest first:
+
+* **pure arithmetic** — topology inventory, bisection width, routed
+  link loads for adversarial permutations, and the per-process MPI
+  memory curve (``analytic=True`` mode of the Fig. 13 bench, executed
+  as :class:`RunSpec`\\ s so every point is content-addressed and the
+  topology lands in the cache key);
+* **LogGP projection** — :func:`repro.analysis.logp.extract_loggp`
+  measures (L, o, g, G) on the simulated 2-rank testbed, then a
+  first-order per-iteration communication model for IS (all-to-all),
+  LU (2-D halo exchange) and Sweep3D (wavefront pipeline) stretches
+  L by the extra switch hops and divides bandwidth by the topology's
+  bisection serialization factor.  Combined with the calibrated
+  compute model (:class:`repro.apps.classes.ProblemConfig`) this
+  yields projected speedup/efficiency curves without simulating
+  thousands of ranks;
+* **simulated anchors** — small-N full simulations *through the
+  multi-stage topology* (a barrier-memory readout and a 16-rank
+  all-to-all, crossbar vs. routed) pin the analytic curves to the
+  event-level model.
+
+All rank counts must be powers of two (the compute model and d-mod-k
+routing analytics are defined on them).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import runtime
+from repro.experiments.ascii_plot import table
+from repro.microbench.memusage import analytic_memory_mb
+from repro.runtime.executor import is_error_payload
+from repro.runtime.spec import RunSpec
+
+__all__ = ["scale_report", "memory_ceiling_ranks", "projected_speedup",
+           "DEFAULT_RANKS", "QUICK_RANKS", "DEFAULT_RAM_MB", "SCALE_APPS"]
+
+NETWORKS = ("infiniband", "myrinet", "quadrics")
+
+DEFAULT_RANKS: Sequence[int] = (16, 64, 256, 1024, 4096)
+QUICK_RANKS: Sequence[int] = (16, 64, 256)
+
+#: per-node RAM assumed for the memory-ceiling tables (MB)
+DEFAULT_RAM_MB = 4096.0
+
+#: problems projected to scale (powers-of-two ranks, square grids)
+SCALE_APPS = ("is.C", "lu.C", "sweep3d.150")
+
+#: each fabric's cluster-scale switch topology (Fabric.default_multistage)
+MULTISTAGE = {
+    "infiniband": "fat_tree",
+    "myrinet": "clos",
+    "quadrics": "federated_elite",
+}
+
+#: simulated-anchor knobs (kept tiny: anchors pin curves, not measure them)
+ANCHOR_A2A_NPROCS = 16
+ANCHOR_A2A_BYTES = 4096
+ANCHOR_A2A_ITERS = 4
+
+
+# -- topology analytics (no simulation) ---------------------------------
+
+def _fabric_params(network: str):
+    if network == "infiniband":
+        from repro.networks.infiniband.params import InfiniBandParams
+        return InfiniBandParams()
+    if network == "myrinet":
+        from repro.networks.myrinet.params import MyrinetParams
+        return MyrinetParams()
+    from repro.networks.quadrics.params import QuadricsParams
+    return QuadricsParams()
+
+
+def _topo(network: str, nranks: int, kind: str):
+    """An analytics-only topology instance (no links materialized)."""
+    from repro.core.engine import Simulator
+    from repro.hardware.topology import make_topology
+
+    params = _fabric_params(network)
+    return make_topology(kind, Simulator(), max(nranks, 2), params.wire_bw,
+                         params.switch_latency_us, params.wire_latency_us)
+
+
+def memory_ceiling_ranks(device_cls, ram_mb: float = DEFAULT_RAM_MB,
+                         on_demand: bool = False, cap: int = 1 << 20) -> int:
+    """Largest rank count whose per-process MPI memory fits ``ram_mb``.
+
+    The analytic curve is monotone in N, so geometric growth plus a
+    binary search suffices; ``cap`` bounds the logarithmic on-demand
+    curve, which never hits any realistic RAM size.
+    """
+    if analytic_memory_mb(device_cls, 1, on_demand=on_demand) > ram_mb:
+        return 0
+    hi = 1
+    while hi < cap and analytic_memory_mb(device_cls, hi * 2,
+                                          on_demand=on_demand) <= ram_mb:
+        hi *= 2
+    if hi >= cap:
+        return cap
+    lo, hi = hi, hi * 2
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if analytic_memory_mb(device_cls, mid, on_demand=on_demand) <= ram_mb:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+# -- LogGP application projections --------------------------------------
+
+def _comm_us_per_iter(key: str, cfg, nranks: int, lg, topo,
+                      per_hop_us: float) -> float:
+    """First-order per-iteration communication cost at ``nranks``.
+
+    ``lg`` is the 2-rank LogGP extraction; the topology stretches its
+    wire latency by the extra switch hops of a worst-case route and
+    scales the bandwidth term by the bisection serialization factor
+    where the pattern is bisection-bound.
+    """
+    extra_hops = topo.nhops(0, topo.nnodes - 1) - 1
+    lat = lg.L + extra_hops * per_hop_us
+    over = lg.o_send + lg.o_recv
+    if key == "is.C":
+        # bucket redistribution: one all-to-all of the key array per
+        # iteration; N-1 message launches plus the bisection-shared
+        # per-rank payload
+        bytes_rank = cfg.size[0] * 4.0 / nranks
+        share = max(topo.alltoall_link_share(), 1.0)
+        return ((nranks - 1) * max(lg.g, over)
+                + bytes_rank * lg.G * share + 2.0 * lat)
+    q = int(math.isqrt(nranks))
+    if key == "lu.C":
+        # 2-D pencil decomposition: 4 halo faces of 5 doubles per cell
+        face_bytes = 5 * 8 * cfg.size[0] * cfg.size[1] / q
+        return 4.0 * (over + lat + face_bytes * lg.G)
+    # sweep3d: 8 octant wavefronts over a q x q grid, pipelined in
+    # k-blocks of 10 planes; each stage forwards one angle-block face
+    stage_bytes = 6 * 8 * 10 * cfg.size[0] / q
+    stages = 2.0 * (q - 1) + cfg.size[2] / 10.0
+    return 8.0 * stages * (over + lat + stage_bytes * lg.G)
+
+
+def projected_speedup(key: str, network: str, nranks: int, lg, topo,
+                      per_hop_us: float) -> Tuple[float, float]:
+    """(speedup, parallel efficiency) for one (app, fabric, N) cell."""
+    from repro.apps.classes import PROBLEMS
+
+    cfg = PROBLEMS[key]
+    comm = _comm_us_per_iter(key, cfg, nranks, lg, topo, per_hop_us)
+    t_iter = cfg.work_us_per_iter(nranks) + comm
+    speedup = cfg.work_us_per_iter(1) / t_iter
+    return speedup, speedup / nranks
+
+
+# -- report --------------------------------------------------------------
+
+def _check_ranks(ranks: Sequence[int]) -> Tuple[int, ...]:
+    out = tuple(int(n) for n in ranks)
+    for n in out:
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"rank counts must be powers of two >= 2, got {n}")
+    return out
+
+
+def _specs(networks: Sequence[str], ranks: Tuple[int, ...],
+           topologies: Dict[str, str], quick: bool):
+    """The content-addressed spec grid, keyed for later lookup."""
+    anchor_n = min(min(ranks), 32)
+    keyed: Dict[Tuple[str, str], RunSpec] = {}
+    for net in networks:
+        topo = topologies[net]
+        keyed[net, "mem"] = RunSpec.microbench(
+            "memory_usage", net, node_counts=ranks, analytic=True,
+            topology=topo)
+        if net == "infiniband":
+            keyed[net, "mem_od"] = RunSpec.microbench(
+                "memory_usage", net, node_counts=ranks, analytic=True,
+                topology=topo,
+                mpi_options={"on_demand_connections": True})
+        keyed[net, "mem_sim"] = RunSpec.microbench(
+            "memory_usage", net, node_counts=(anchor_n,), topology=topo)
+        if not quick:
+            keyed[net, "a2a_flat"] = RunSpec.microbench(
+                "alltoall", net, nprocs=ANCHOR_A2A_NPROCS,
+                sizes=(ANCHOR_A2A_BYTES,), iters=ANCHOR_A2A_ITERS, warmup=1)
+            keyed[net, "a2a_topo"] = RunSpec.microbench(
+                "alltoall", net, nprocs=ANCHOR_A2A_NPROCS,
+                sizes=(ANCHOR_A2A_BYTES,), iters=ANCHOR_A2A_ITERS, warmup=1,
+                topology=topo)
+    return keyed, anchor_n
+
+
+def _points(payload) -> Optional[dict]:
+    if payload is None or is_error_payload(payload):
+        return None
+    return {int(x): y for x, y in payload["points"]}
+
+
+def scale_report(networks: Optional[Sequence[str]] = None,
+                 ranks: Optional[Sequence[int]] = None,
+                 topology: Optional[str] = None,
+                 quick: bool = False,
+                 ram_mb: float = DEFAULT_RAM_MB) -> str:
+    """Render the 16 -> 4096-rank scaling study.
+
+    ``networks=None`` sweeps all three fabrics; ``topology=None`` uses
+    each fabric's native multi-stage topology.  ``quick`` trims the
+    rank list and skips the all-to-all simulation anchors.
+    """
+    from repro.analysis.logp import extract_loggp
+    from repro.apps.classes import PROBLEMS
+    from repro.mpi.devices import device_class_for
+    from repro.networks import canonical_network
+
+    nets = [canonical_network(n) for n in (networks or NETWORKS)]
+    ranks = _check_ranks(ranks if ranks is not None
+                         else (QUICK_RANKS if quick else DEFAULT_RANKS))
+    topologies = {net: (topology or MULTISTAGE[net]) for net in nets}
+
+    keyed, anchor_n = _specs(nets, ranks, topologies, quick)
+    order = list(keyed)
+    payloads = dict(zip(order, runtime.run_specs([keyed[k] for k in order])))
+
+    loggp = {net: extract_loggp(net) for net in nets}
+    out: List[str] = []
+    out.append(f"== scaling study: {', '.join(str(n) for n in ranks)} ranks ==")
+    out.append("LogGP extracted on the simulated 2-rank testbed:")
+    for net in nets:
+        out.append("  " + str(loggp[net]))
+
+    for net in nets:
+        params = _fabric_params(net)
+        per_hop = params.switch_latency_us + params.wire_latency_us
+        device_cls = device_class_for(net)
+        topos = {n: _topo(net, n, topologies[net]) for n in ranks}
+
+        out.append("")
+        out.append(f"-- {net} / {topologies[net]} --")
+        out.append("   " + topos[max(ranks)].describe())
+
+        rows = []
+        for n in ranks:
+            t = topos[n]
+            rows.append([n, getattr(t, "levels", 1),
+                         getattr(t, "nswitches", lambda: 1)(),
+                         getattr(t, "total_links", lambda: t.nnodes)(),
+                         t.bisection_links(),
+                         t.pattern_contention("shift"),
+                         t.pattern_contention("transpose"),
+                         float(t.alltoall_link_share())])
+        out.append(table(
+            ["ranks", "levels", "switches", "links", "bisect",
+             "shift", "transp", "a2a-share"], rows,
+            title="routed topology inventory (link loads: flows per link)"))
+
+        mem = _points(payloads[net, "mem"])
+        mem_od = _points(payloads[net, "mem_od"]) \
+            if (net, "mem_od") in payloads else None
+        rows = []
+        for n in ranks:
+            row = [n, mem[n] if mem else float("nan")]
+            if mem_od is not None:
+                row.append(mem_od[n])
+            rows.append(row)
+        headers = ["ranks", "static MB"] + \
+            (["on-demand MB"] if mem_od is not None else [])
+        out.append(table(headers, rows,
+                         title=f"per-process MPI memory "
+                               f"(spec {keyed[net, 'mem'].digest[:12]})"))
+
+        ceil_static = memory_ceiling_ranks(device_cls, ram_mb)
+        line = (f"memory ceiling at {ram_mb:.0f} MB/node: "
+                f"static <= {ceil_static} ranks")
+        if net == "infiniband":
+            ceil_od = memory_ceiling_ranks(device_cls, ram_mb, on_demand=True)
+            line += (f", on-demand <= "
+                     f"{'>1M' if ceil_od >= (1 << 20) else ceil_od} ranks")
+        out.append(line)
+
+        sim = _points(payloads[net, "mem_sim"])
+        if sim is not None:
+            got = sim[anchor_n]
+            want = analytic_memory_mb(device_cls, anchor_n)
+            tag = "==" if abs(got - want) < 1e-9 else "!="
+            out.append(f"anchor: simulated barrier at {anchor_n} ranks "
+                       f"through {topologies[net]}: {got:.1f} MB "
+                       f"{tag} analytic {want:.1f} MB "
+                       f"(spec {keyed[net, 'mem_sim'].digest[:12]})")
+        if (net, "a2a_flat") in payloads:
+            flat = _points(payloads[net, "a2a_flat"])
+            routed = _points(payloads[net, "a2a_topo"])
+            if flat and routed:
+                f_us = flat[ANCHOR_A2A_BYTES]
+                r_us = routed[ANCHOR_A2A_BYTES]
+                out.append(f"anchor: {ANCHOR_A2A_NPROCS}-rank alltoall "
+                           f"({ANCHOR_A2A_BYTES} B): crossbar {f_us:.1f} us, "
+                           f"{topologies[net]} {r_us:.1f} us "
+                           f"(x{r_us / f_us:.2f})")
+
+    for key in SCALE_APPS:
+        cfg = PROBLEMS[key]
+        rows = []
+        for n in ranks:
+            row: List = [n]
+            for net in nets:
+                params = _fabric_params(net)
+                t = _topo(net, n, topologies[net])
+                s, eff = projected_speedup(
+                    key, net, n, loggp[net], t,
+                    params.switch_latency_us + params.wire_latency_us)
+                row.append(f"{s:8.1f} ({eff * 100:3.0f}%)")
+            rows.append(row)
+        out.append("")
+        out.append(table(["ranks"] + [f"{net}" for net in nets], rows,
+                         title=f"projected speedup (efficiency) - {key} "
+                               f"[{cfg.niters} iters/run]"))
+    return "\n".join(out)

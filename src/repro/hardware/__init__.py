@@ -25,7 +25,9 @@ from repro.hardware.memory import (
 )
 from repro.hardware.node import Node
 from repro.hardware.path import PipelinePath, Stage
-from repro.hardware.switch import CrossbarSwitch
+from repro.hardware.switch import CrossbarSwitch, make_link
+from repro.hardware.topology import (Clos, FatTree, FederatedElite,
+                                     SingleCrossbar, Topology, make_topology)
 from repro.hardware.cluster import Cluster
 
 __all__ = [
@@ -43,6 +45,13 @@ __all__ = [
     "Node",
     "Cluster",
     "CrossbarSwitch",
+    "make_link",
+    "Topology",
+    "SingleCrossbar",
+    "FatTree",
+    "Clos",
+    "FederatedElite",
+    "make_topology",
     "PipelinePath",
     "Stage",
 ]

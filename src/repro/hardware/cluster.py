@@ -4,11 +4,15 @@ The paper's primary testbed is an 8-node cluster at OSU; Fig. 24 adds a
 16-node Topspin InfiniBand cluster.  A :class:`Cluster` owns the nodes;
 network fabrics (:mod:`repro.networks`) attach adapters and a switch to
 it when constructed.
+
+Nodes are materialized lazily: a 4096-node cluster built for a scaling
+sweep costs O(active endpoints) — only nodes actually hosting ranks (or
+traversed by a built path) allocate CPUs and bus servers.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from repro.core.engine import Simulator
 from repro.hardware.cpu import MemcpyModel
@@ -26,13 +30,30 @@ class Cluster:
             raise ValueError("cluster needs at least one node")
         self.sim = sim
         self.nnodes = nnodes
+        self.ncores_per_node = ncores_per_node
         self.memcpy = memcpy or MemcpyModel()
-        self.nodes: List[Node] = [
-            Node(sim, i, ncores=ncores_per_node, memcpy=self.memcpy) for i in range(nnodes)
-        ]
+        self._nodes: Dict[int, Node] = {}
 
     def node(self, node_id: int) -> Node:
-        return self.nodes[node_id]
+        if not 0 <= node_id < self.nnodes:
+            raise IndexError(f"node {node_id} out of range for "
+                             f"{self.nnodes}-node cluster")
+        n = self._nodes.get(node_id)
+        if n is None:
+            n = Node(self.sim, node_id, ncores=self.ncores_per_node,
+                     memcpy=self.memcpy)
+            self._nodes[node_id] = n
+        return n
+
+    @property
+    def nodes(self) -> List[Node]:
+        """Nodes materialized so far, in creation order.
+
+        Untouched nodes hold no simulation state (no buses, no busy
+        time), so iterating only the active ones is metrics-identical
+        to the old eager list.
+        """
+        return list(self._nodes.values())
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<Cluster nodes={self.nnodes}>"
+        return f"<Cluster nodes={self.nnodes} active={len(self._nodes)}>"

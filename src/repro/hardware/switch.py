@@ -5,16 +5,26 @@ Elite-16) are full crossbars: any input can reach any output without
 internal blocking, so the only contention point is the *output port*.
 We model each output port as a FIFO bandwidth server at link rate and
 charge a fixed cut-through routing latency per traversal.
+
+:func:`make_link` is the uniform link factory shared with the topology
+layer (:mod:`repro.hardware.topology`): crossbar output ports and
+multi-stage up/down links are the same kind of server, created the same
+way.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Set
 
 from repro.core.engine import Simulator
 from repro.core.resources import FifoServer
 
-__all__ = ["CrossbarSwitch"]
+__all__ = ["CrossbarSwitch", "make_link"]
+
+
+def make_link(sim: Simulator, bw_bytes_per_us: float, name: str) -> FifoServer:
+    """One switch-side link: a FIFO server at link rate, no overhead."""
+    return FifoServer(sim, bw_bytes_per_us, overhead_us=0.0, name=name)
 
 
 class CrossbarSwitch:
@@ -36,15 +46,27 @@ class CrossbarSwitch:
         self.cut_through_us = cut_through_us
         self.name = name
         self._out_ports: Dict[int, FifoServer] = {}
+        #: ports with an attached endpoint; empty = free-standing switch
+        #: (direct construction in tests), where only the range check
+        #: applies
+        self.endpoints: Set[int] = set()
+
+    def attach_endpoint(self, port: int) -> None:
+        """Register an endpoint behind ``port`` (fabric attach path)."""
+        if not 0 <= port < self.nports:
+            raise ValueError(f"port {port} out of range for {self.nports}-port switch")
+        self.endpoints.add(port)
 
     def out_port(self, port: int) -> FifoServer:
         """The FIFO server for the switch->node link on ``port``."""
         if not 0 <= port < self.nports:
             raise ValueError(f"port {port} out of range for {self.nports}-port switch")
+        if self.endpoints and port not in self.endpoints:
+            raise ValueError(f"port {port} of {self.name} has no attached endpoint "
+                             f"(attached: {sorted(self.endpoints)})")
         srv = self._out_ports.get(port)
         if srv is None:
-            srv = FifoServer(self.sim, self.port_bw, overhead_us=0.0,
-                             name=f"{self.name}.out{port}")
+            srv = make_link(self.sim, self.port_bw, name=f"{self.name}.out{port}")
             self._out_ports[port] = srv
         return srv
 

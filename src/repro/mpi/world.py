@@ -254,11 +254,17 @@ class MPIWorld:
             m.inc("hw.wire.bytes", nic.uplink.bytes_moved)
         for sram in (getattr(fabric, "srams", None) or {}).values():
             m.inc("hw.sram.busy_us", sram.busy_time)
-        switch = getattr(fabric, "switch", None)
-        if switch is not None:
-            for port in switch._out_ports.values():
-                m.inc("hw.switch.busy_us", port.busy_time)
-                m.inc("hw.switch.bytes", port.bytes_moved)
+        topology = getattr(fabric, "topology", None)
+        if topology is not None:
+            for link in topology.iter_links():
+                m.inc("hw.switch.busy_us", link.busy_time)
+                m.inc("hw.switch.bytes", link.bytes_moved)
+        else:  # fabric predating the topology layer: read the switch
+            switch = getattr(fabric, "switch", None)
+            if switch is not None:
+                for port in switch._out_ports.values():
+                    m.inc("hw.switch.busy_us", port.busy_time)
+                    m.inc("hw.switch.bytes", port.bytes_moved)
         for pc in (getattr(fabric, "pin_caches", None) or {}).values():
             m.inc("reg.cache.hits", pc.hits)
             m.inc("reg.cache.misses", pc.misses)

@@ -44,6 +44,11 @@ _ALIASES = {
     "qsn": "quadrics",
     "elan": "quadrics",
     "quadrics": "quadrics",
+    # the paper's MPI implementations double as fabric aliases, so
+    # `repro scale --network mvapich` reads like the paper's tables
+    "mvapich": "infiniband",
+    "mpich-gm": "myrinet",
+    "mpich-quadrics": "quadrics",
 }
 
 

@@ -111,9 +111,16 @@ class Fabric:
     #: wire header+CRC bytes added to every packet
     header_bytes: int = 40
 
+    #: multi-stage topology this fabric's product line shipped at scale
+    #: (used by ``repro scale`` when no explicit topology is requested)
+    default_multistage: str = "fat_tree"
+
     def __init__(self, sim: Simulator, cluster: Cluster) -> None:
         self.sim = sim
         self.cluster = cluster
+        #: routed switch topology; installed by _init_topology in every
+        #: concrete fabric's constructor
+        self.topology = None
         self.ports: Dict[int, NetPort] = {}
         self._paths: Dict[Tuple[int, int], PipelinePath] = {}
         self._injectors: Dict[int, "_Injector"] = {}
@@ -130,12 +137,36 @@ class Fabric:
         #: keeps the delivery path at a single attribute check
         self.fault_plane = None
 
+    def _init_topology(self, topo_name, radix, params, switch_name: str):
+        """Build this fabric's switch topology (constructor helper).
+
+        ``topo_name``/``radix`` come out of the ``net_overrides`` dict
+        (keys ``topology`` / ``topology_radix``) before the parameter
+        dataclass is constructed; ``None`` keeps the testbed's single
+        crossbar, including its original switch name, port count and
+        per-port servers.
+        """
+        from repro.hardware.topology import make_topology
+
+        self.topology = make_topology(
+            topo_name, self.sim, nnodes=max(self.cluster.nnodes, 2),
+            port_bw_bytes_per_us=params.wire_bw,
+            hop_latency_us=params.switch_latency_us,
+            wire_latency_us=params.wire_latency_us,
+            name=switch_name, radix=radix)
+        # single-crossbar back-compat: fabric.switch keeps pointing at
+        # the CrossbarSwitch; multi-stage fabrics have no single switch
+        self.switch = getattr(self.topology, "switch", None)
+        return self.topology
+
     # -- attachment -----------------------------------------------------
     def attach(self, rank: int, node_id: int) -> NetPort:
         if rank in self.ports:
             raise ValueError(f"rank {rank} already attached to {self.kind}")
         port = NetPort(self.sim, self, rank, node_id)
         self.ports[rank] = port
+        if self.topology is not None:
+            self.topology.attach_endpoint(node_id)
         self._on_attach(port)
         return port
 
@@ -284,7 +315,10 @@ class Fabric:
 
     # -- introspection ------------------------------------------------------
     def describe(self) -> str:
-        return f"{self.label} fabric on {self.cluster.nnodes} nodes"
+        base = f"{self.label} fabric on {self.cluster.nnodes} nodes"
+        if self.topology is not None:
+            base += f" ({self.topology.describe()})"
+        return base
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Fabric {self.kind} ports={len(self.ports)}>"

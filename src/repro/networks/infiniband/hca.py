@@ -19,7 +19,6 @@ from repro.hardware.cluster import Cluster
 from repro.hardware.memory import PinDownCache
 from repro.hardware.nic import NicPorts
 from repro.hardware.path import PipelinePath, Stage
-from repro.hardware.switch import CrossbarSwitch
 from repro.networks.base import Fabric, NetPort
 from repro.networks.infiniband.params import InfiniBandParams
 from repro.networks.infiniband.verbs import VapiDevice
@@ -34,19 +33,17 @@ class InfiniBandFabric(Fabric):
     label = "IBA"
     header_bytes = 40  # LRH+BTH+ICRC/VCRC of an IB packet
 
+    default_multistage = "fat_tree"
+
     def __init__(self, sim: Simulator, cluster: Cluster,
                  params: InfiniBandParams | None = None, **overrides) -> None:
         super().__init__(sim, cluster)
+        topo_name = overrides.pop("topology", None)
+        topo_radix = overrides.pop("topology_radix", None)
         if params is None:
             params = InfiniBandParams(**overrides) if overrides else InfiniBandParams()
         self.params = params
-        self.switch = CrossbarSwitch(
-            sim,
-            nports=max(cluster.nnodes, 2),
-            port_bw_bytes_per_us=params.wire_bw,
-            cut_through_us=params.switch_latency_us,
-            name="infiniscale",
-        )
+        self._init_topology(topo_name, topo_radix, params, "infiniscale")
         self.hcas: Dict[int, NicPorts] = {}
         self.pin_caches: Dict[int, PinDownCache] = {}
         self.devices: Dict[int, VapiDevice] = {}
@@ -97,9 +94,10 @@ class InfiniBandFabric(Fabric):
 
     # -- paths ----------------------------------------------------------------
     # Stage layout: [0]=src bus, [1]=message processor (TX work),
-    # [2]=tx engine, [3]=uplink, [4]=switch out-port, [5]=message
-    # processor (RX work), [6]=rx engine, [7]=dst bus.  Local completion
-    # = data has cleared the TX engine (stage 2).
+    # [2]=tx engine, [3]=uplink, [4..]=routed switch hops (one on the
+    # testbed crossbar), then message processor (RX work), rx engine,
+    # dst bus.  Local completion = data has cleared the TX engine
+    # (stage 2).
     local_stage_index = 2
 
     def _build_path(self, src_node: int, dst_node: int) -> PipelinePath:
@@ -115,8 +113,7 @@ class InfiniBandFabric(Fabric):
                   trailing_us=p.cqe_gen_us, name="hca_proc_tx"),
             Stage(src_hca.tx_engine, name="hca_tx"),
             Stage(src_hca.uplink, latency_us=p.wire_latency_us, name="uplink"),
-            Stage(self.switch.out_port(dst_node),
-                  latency_us=p.switch_latency_us + p.wire_latency_us, name="downlink"),
+            *self.topology.switch_stages(src_node, dst_node),
             Stage(dst_hca.mproc, first_chunk_extra_us=p.rx_proc_us, name="hca_proc_rx"),
             Stage(dst_hca.rx_engine, name="hca_rx"),
             Stage(dst_bus.server, overhead_us=dst_bus.burst_overhead_us,

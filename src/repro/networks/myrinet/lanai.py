@@ -22,7 +22,6 @@ from repro.hardware.cluster import Cluster
 from repro.hardware.memory import PinDownCache
 from repro.hardware.nic import NicPorts
 from repro.hardware.path import PipelinePath, Stage
-from repro.hardware.switch import CrossbarSwitch
 from repro.networks.base import Fabric, NetPort, Packet
 from repro.networks.myrinet.gm import GmPort
 from repro.networks.myrinet.params import MyrinetParams
@@ -37,19 +36,17 @@ class MyrinetFabric(Fabric):
     label = "Myri"
     header_bytes = 24  # GM header + Myrinet route/CRC
 
+    default_multistage = "clos"
+
     def __init__(self, sim: Simulator, cluster: Cluster,
                  params: MyrinetParams | None = None, **overrides) -> None:
         super().__init__(sim, cluster)
+        topo_name = overrides.pop("topology", None)
+        topo_radix = overrides.pop("topology_radix", None)
         if params is None:
             params = MyrinetParams(**overrides) if overrides else MyrinetParams()
         self.params = params
-        self.switch = CrossbarSwitch(
-            sim,
-            nports=max(cluster.nnodes, 2),
-            port_bw_bytes_per_us=params.wire_bw,
-            cut_through_us=params.switch_latency_us,
-            name="myrinet2000",
-        )
+        self._init_topology(topo_name, topo_radix, params, "myrinet2000")
         self.nics: Dict[int, NicPorts] = {}
         self.srams: Dict[int, FifoServer] = {}
         self.pin_caches: Dict[int, PinDownCache] = {}
@@ -126,8 +123,7 @@ class MyrinetFabric(Fabric):
             stages += [Stage(src_sram, name="src_sram")]
         stages += [
             Stage(src_nic.uplink, latency_us=p.wire_latency_us, name="uplink"),
-            Stage(self.switch.out_port(dst_node),
-                  latency_us=p.switch_latency_us + p.wire_latency_us, name="downlink"),
+            *self.topology.switch_stages(src_node, dst_node),
         ]
         stages += [Stage(dst_nic.mproc, first_chunk_extra_us=p.rx_proc_us,
                          name="lanai_fw_rx")]

@@ -23,7 +23,6 @@ from repro.hardware.cluster import Cluster
 from repro.hardware.memory import NicTlb
 from repro.hardware.nic import NicPorts
 from repro.hardware.path import PipelinePath, Stage
-from repro.hardware.switch import CrossbarSwitch
 from repro.networks.base import Fabric, NetPort, Packet
 from repro.networks.quadrics.params import QuadricsParams
 from repro.networks.quadrics.tports import TportsPort
@@ -38,19 +37,17 @@ class QuadricsFabric(Fabric):
     label = "QSN"
     header_bytes = 16  # Elan route flits + transaction header
 
+    default_multistage = "federated_elite"
+
     def __init__(self, sim: Simulator, cluster: Cluster,
                  params: QuadricsParams | None = None, **overrides) -> None:
         super().__init__(sim, cluster)
+        topo_name = overrides.pop("topology", None)
+        topo_radix = overrides.pop("topology_radix", None)
         if params is None:
             params = QuadricsParams(**overrides) if overrides else QuadricsParams()
         self.params = params
-        self.switch = CrossbarSwitch(
-            sim,
-            nports=max(cluster.nnodes, 2),
-            port_bw_bytes_per_us=params.wire_bw,
-            cut_through_us=params.switch_latency_us,
-            name="elite16",
-        )
+        self._init_topology(topo_name, topo_radix, params, "elite16")
         self.nics: Dict[int, NicPorts] = {}
         self.tlbs: Dict[int, NicTlb] = {}
         self.tports: Dict[int, TportsPort] = {}
@@ -119,8 +116,7 @@ class QuadricsFabric(Fabric):
                   trailing_us=p.tx_retire_us, name="elan_proc_tx"),
             Stage(src_nic.tx_engine, name="elan_tx"),
             Stage(src_nic.uplink, latency_us=p.wire_latency_us, name="uplink"),
-            Stage(self.switch.out_port(dst_node),
-                  latency_us=p.switch_latency_us + p.wire_latency_us, name="downlink"),
+            *self.topology.switch_stages(src_node, dst_node),
             Stage(dst_nic.mproc, first_chunk_extra_us=p.rx_proc_us, name="elan_proc_rx"),
             Stage(dst_nic.rx_engine, name="elan_rx"),
             self._bus_stage(dst_node, "dst_bus"),
@@ -146,8 +142,7 @@ class QuadricsFabric(Fabric):
                   trailing_us=p.tx_retire_us, name="elan_proc_tx"),
             Stage(src_nic.tx_engine, name="elan_tx"),
             Stage(src_nic.uplink, latency_us=p.wire_latency_us, name="uplink"),
-            Stage(self.switch.out_port(dst_node),
-                  latency_us=p.switch_latency_us + p.wire_latency_us, name="downlink"),
+            *self.topology.switch_stages(src_node, dst_node),
             Stage(dst_nic.mproc, first_chunk_extra_us=p.rx_proc_us, name="elan_proc_rx"),
             Stage(dst_nic.rx_engine, name="elan_rx"),
             self._bus_stage(dst_node, "dst_bus"),

@@ -20,7 +20,11 @@ Reference grammar::
 
 ``target`` is a registered microbench name (``latency``, ``bandwidth``,
 ...) or an ``app.class`` pair (``is.S``); the optional ``key=val`` list
-becomes ``mpi_options`` for the run.
+becomes ``mpi_options`` for the run.  The reserved key ``topology``
+instead selects the switch topology (``latency@infiniband:topology=
+fat_tree`` routes through the multi-stage fabric of
+:mod:`repro.hardware.topology`), so a diff can isolate exactly what
+multi-hop routing costs.
 """
 
 from __future__ import annotations
@@ -99,11 +103,14 @@ def build_spec(ref: RunRef, size: int, iters: int, nprocs: int,
     from repro.microbench.common import bench_registry
     from repro.runtime.spec import RunSpec
 
-    options = dict(ref.options) or None
+    options = dict(ref.options)
+    topology = options.pop("topology", None)  # spec field, not an MPI option
+    options = options or None
     if ref.is_app:
         app, klass = ref.target.split(".", 1)
         spec = RunSpec.app(app, klass, ref.network, nprocs=nprocs,
-                           record=False, sample_iters=2, mpi_options=options)
+                           record=False, sample_iters=2, mpi_options=options,
+                           topology=topology)
         # timeline rides in params; RunSpec.app has no **params passthrough
         params = dict(spec.params)
         params["timeline"] = interval_us
@@ -118,7 +125,8 @@ def build_spec(ref: RunRef, size: int, iters: int, nprocs: int,
     # only where the signature accepts it so defaults stay authoritative
     if "iters" in inspect.signature(registry[ref.target]).parameters:
         kwargs["iters"] = iters
-    return RunSpec.microbench(ref.target, ref.network, **kwargs)
+    return RunSpec.microbench(ref.target, ref.network, topology=topology,
+                              **kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -154,8 +162,12 @@ def _critical_path_rows(ref_a: RunRef, ref_b: RunRef, size: int
     from repro.profiling.trace_export import critical_path
 
     def segments(ref: RunRef) -> Dict[str, float]:
+        options = dict(ref.options)
+        topology = options.pop("topology", None)
         cp = critical_path(ref.network, nbytes=size,
-                           mpi_options=dict(ref.options) or None)
+                           mpi_options=options or None,
+                           net_overrides={"topology": topology}
+                           if topology else None)
         out: Dict[str, float] = {}
         for name, us in cp.segments:
             out[name] = out.get(name, 0.0) + us

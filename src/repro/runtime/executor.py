@@ -143,8 +143,13 @@ def _execute_microbench(spec: RunSpec) -> dict:
             # steady-state extrapolation: exact on claimed points,
             # per-point fallback to full simulation otherwise
             return fastpath.analytic_microbench_payload(spec)
-        raise ValueError(f"microbench {spec.target!r} has no analytic "
-                         f"fast path (know {fastpath.FASTPATH_BENCHES})")
+        registered = bench_registry().get(spec.target)
+        if registered is None or "analytic" not in \
+                inspect.signature(registered).parameters:
+            raise ValueError(f"microbench {spec.target!r} has no analytic "
+                             f"fast path (know {fastpath.FASTPATH_BENCHES})")
+        # benches with a native closed-form mode (memory_usage) take
+        # `analytic` as an ordinary parameter: fall through and forward
     kwargs = thaw_mapping(spec.params)
     # timeline is executor-level (handled by execute_spec's capture
     # context), not a bench-function parameter

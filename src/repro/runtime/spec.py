@@ -81,6 +81,7 @@ class RunSpec:
     record: bool = False                # attach a profiling Recorder
     params: Pairs = ()                  # any further driver keyword arguments
     faults: Pairs = ()                  # wire-fault injection (repro.faults)
+    topology: Optional[str] = None      # switch topology (None = testbed crossbar)
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_APP, KIND_MICROBENCH):
@@ -92,6 +93,8 @@ class RunSpec:
         # normalize in place so directly-constructed specs digest identically
         object.__setattr__(self, "network", canonical_network(self.network))
         object.__setattr__(self, "sizes", tuple(int(s) for s in self.sizes))
+        if self.topology is not None:
+            object.__setattr__(self, "topology", str(self.topology).lower())
         for name in ("mpi_options", "net_overrides", "params", "faults"):
             object.__setattr__(self, name, freeze_mapping(getattr(self, name)))
 
@@ -102,10 +105,12 @@ class RunSpec:
             sample_iters: Optional[int] = None, record: bool = True,
             net_overrides: Optional[Mapping] = None,
             mpi_options: Optional[Mapping] = None,
-            faults: Optional[Mapping] = None, seed: int = 0) -> "RunSpec":
+            faults: Optional[Mapping] = None, seed: int = 0,
+            topology: Optional[str] = None) -> "RunSpec":
         """Spec for one application run (mirrors ``run_app``'s signature)."""
         overrides = dict(net_overrides or {})
         bus_kind = overrides.pop("bus_kind", None)
+        topology = overrides.pop("topology", topology)
         params = {"verify": bool(verify)}
         if sample_iters is not None:
             params["sample_iters"] = int(sample_iters)
@@ -114,7 +119,7 @@ class RunSpec:
                    mpi_options=freeze_mapping(mpi_options),
                    net_overrides=freeze_mapping(overrides),
                    seed=seed, record=record, params=freeze_mapping(params),
-                   faults=freeze_mapping(faults))
+                   faults=freeze_mapping(faults), topology=topology)
 
     @classmethod
     def microbench(cls, bench: str, network: str, *, sizes: Sequence[int] = (),
@@ -122,17 +127,19 @@ class RunSpec:
                    net_overrides: Optional[Mapping] = None,
                    mpi_options: Optional[Mapping] = None,
                    faults: Optional[Mapping] = None, seed: int = 0,
+                   topology: Optional[str] = None,
                    **params: Any) -> "RunSpec":
         """Spec for one ``measure_*`` sweep (bench name from the registry)."""
         overrides = dict(net_overrides or {})
         bus_kind = overrides.pop("bus_kind", None)
+        topology = overrides.pop("topology", topology)
         return cls(kind=KIND_MICROBENCH, target=bench, network=network,
                    nprocs=nprocs, ppn=ppn, bus_kind=bus_kind,
                    mpi_options=freeze_mapping(mpi_options),
                    net_overrides=freeze_mapping(overrides),
                    sizes=tuple(sizes), iters=iters, seed=seed,
                    params=freeze_mapping(params),
-                   faults=freeze_mapping(faults))
+                   faults=freeze_mapping(faults), topology=topology)
 
     # -- identity ----------------------------------------------------------
     @property
@@ -148,6 +155,10 @@ class RunSpec:
                     # the fault field existed: the on-disk cache keys of
                     # every existing result stay valid
                     continue
+                if f.name == "topology" and value is None:
+                    # same back-compat rule for the topology field: the
+                    # testbed crossbar digests as before the field existed
+                    continue
                 payload[f.name] = value
             blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
                               default=list)
@@ -161,10 +172,12 @@ class RunSpec:
 
     # -- convenience -------------------------------------------------------
     def merged_net_overrides(self) -> Optional[dict]:
-        """``net_overrides`` with ``bus_kind`` folded back in, or None."""
+        """``net_overrides`` with ``bus_kind``/``topology`` folded back in."""
         overrides = thaw_mapping(self.net_overrides)
         if self.bus_kind is not None:
             overrides["bus_kind"] = self.bus_kind
+        if self.topology is not None:
+            overrides["topology"] = self.topology
         return overrides or None
 
     def fault_mapping(self) -> Optional[dict]:
@@ -174,4 +187,7 @@ class RunSpec:
     def describe(self) -> str:
         """Short human label for logs and progress lines."""
         name = self.target if self.klass is None else f"{self.target}.{self.klass}"
-        return f"{self.kind}:{name}@{self.network} np={self.nprocs}x{self.ppn}"
+        label = f"{self.kind}:{name}@{self.network} np={self.nprocs}x{self.ppn}"
+        if self.topology is not None:
+            label += f" topo={self.topology}"
+        return label
