@@ -69,6 +69,89 @@ def _result_digest(payload):
     return hashlib.sha256(blob).hexdigest()[:12]
 
 
+def _cache_specs_payloads(n):
+    from repro.runtime.spec import RunSpec
+
+    specs = [RunSpec.microbench("latency", "infiniband", sizes=(4,),
+                                iters=i + 1) for i in range(n)]
+    payloads = [{"kind": "microbench",
+                 "points": [[4, 1.0 + i], [8, 2.0 + i]]} for i in range(n)]
+    return specs, payloads
+
+
+def _measure_cache(t):
+    """One SQLite shared-tier scenario; a skipped row on older trees.
+
+    Scenarios (``canonical_events`` = cache operations timed):
+
+    - ``cold``: 64 distinct specs, miss-lookup + store on a fresh db —
+      the first client of a batch nobody has run.
+    - ``warm``: fresh-memory cache over a fully-seeded db, 64 lookups —
+      the service's hot path; per-spec p50/p95 land in the BENCH row.
+    - ``contended``: four fresh-memory caches on one db, 64 lookups
+      each from four threads — overlapping clients.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    try:  # the SQLite backend postdates the seed: feature-probe it
+        import repro.runtime.sqlite_cache  # noqa: F401
+        from repro.runtime.cache import ResultCache
+    except ImportError:
+        return {"name": t["name"], "wall_s": 0.0, "events": None,
+                "peak_queue_depth": None, "analytic": False,
+                "result_digest": None, "skipped": True}
+
+    scenario = t["target"]
+    nthreads = 4 if scenario == "contended" else 1
+    nspecs = t["canonical_events"] // nthreads
+    specs, payloads = _cache_specs_payloads(nspecs)
+    tmp = tempfile.mkdtemp(prefix="repro-perf-cache-")
+    row = {"name": t["name"], "events": t["canonical_events"],
+           "peak_queue_depth": None, "analytic": False,
+           "result_digest": _result_digest({"points": payloads[-1]["points"]})}
+    try:
+        if scenario == "cold":
+            cache = ResultCache(disk_dir=tmp, backend="sqlite")
+            t0 = time.perf_counter()
+            for spec, payload in zip(specs, payloads):
+                cache.lookup(spec)
+                cache.store(spec, payload)
+            row["wall_s"] = time.perf_counter() - t0
+            stats = cache.stats
+            cache.close()
+        else:
+            seed = ResultCache(disk_dir=tmp, backend="sqlite")
+            for spec, payload in zip(specs, payloads):
+                seed.store(spec, payload)
+            seed.close()
+            caches = [ResultCache(disk_dir=tmp, backend="sqlite")
+                      for _ in range(nthreads)]
+
+            def reader(cache):
+                for spec in specs:
+                    assert cache.lookup(spec) is not None
+
+            threads = [threading.Thread(target=reader, args=(c,))
+                       for c in caches[1:]]
+            t0 = time.perf_counter()
+            for th in threads:
+                th.start()
+            reader(caches[0])
+            for th in threads:
+                th.join()
+            row["wall_s"] = time.perf_counter() - t0
+            stats = caches[0].stats
+            for cache in caches:
+                cache.close()
+        row["lookup_p50_us"] = round(stats.percentile_us(0.50), 1)
+        row["lookup_p95_us"] = round(stats.percentile_us(0.95), 1)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return row
+
+
 def main(argv):
     """Run every target in ``argv[1]`` and write results to ``argv[2]``."""
     with open(argv[1]) as fh:
@@ -84,6 +167,9 @@ def main(argv):
                                     iters=2))
     results = []
     for t in targets:
+        if t["kind"] == "cache":
+            results.append(_measure_cache(t))
+            continue
         spec = _build_spec(t, analytic_ok)
         t0 = time.perf_counter()
         payload = execute_spec(spec)

@@ -133,8 +133,11 @@ def run_suite(src_dir: str, baseline_src: Optional[str] = None,
 
 
 def _totals(rows: List[dict]) -> dict:
-    wall = sum(r["wall_s"] for r in rows)
-    canonical = sum(r["canonical_events"] for r in rows)
+    # feature-probed targets report wall 0 on trees that predate them;
+    # they carry no signal, so they don't count toward the aggregate
+    live = [r for r in rows if r["wall_s"] > 0]
+    wall = sum(r["wall_s"] for r in live)
+    canonical = sum(r["canonical_events"] for r in live)
     return {"wall_s": wall, "canonical_events": canonical,
             "events_per_sec": canonical / wall if wall > 0 else 0.0}
 
@@ -211,8 +214,8 @@ def compare_totals(new: dict, old: dict) -> dict:
     shared_events = 0
     for t in new["targets"]:
         o = old_by_name.get(t["name"])
-        if o is None:
-            continue
+        if o is None or not t["wall_s"] or not o["wall_s"]:
+            continue  # absent or skipped on either side: no signal
         new_wall += t["wall_s"]
         old_wall += o["wall_s"]
         shared_events += t["canonical_events"]
@@ -237,7 +240,8 @@ def render_report(record: dict, comparison: Optional[dict] = None) -> str:
     for t in record["targets"]:
         ev = "-" if t.get("events") is None else str(t["events"])
         pq = "-" if t.get("peak_queue_depth") is None else str(t["peak_queue_depth"])
-        mode = "analytic" if t.get("analytic") else "full"
+        mode = ("skipped" if t.get("skipped")
+                else "analytic" if t.get("analytic") else "full")
         lines.append(f"{t['name']:<28} {t['wall_s']:>7.3f}s "
                      f"{t['events_per_sec']:>12,.0f} {ev:>9} {pq:>6}  {mode}")
     tot = record["totals"]

@@ -34,9 +34,9 @@ class PerfTarget:
 
     #: stable identifier, e.g. ``bandwidth.myrinet`` or ``lu.A.infiniband``
     name: str
-    #: ``microbench`` or ``app``
+    #: ``microbench``, ``app`` or ``cache``
     kind: str
-    #: bench name (microbench) or app name (app)
+    #: bench name (microbench), app name (app) or scenario (cache)
     target: str
     network: str
     #: pinned full-simulation engine event count (see module docstring)
@@ -74,6 +74,13 @@ def _app(app: str, klass: str, network: str, events: int,
                       canonical_events=events, sample_iters=sample_iters)
 
 
+def _cache(scenario: str, ops: int) -> PerfTarget:
+    """A SQLite shared-tier scenario; ``canonical_events`` = cache ops."""
+    return PerfTarget(name=f"cache.{scenario}.sqlite", kind="cache",
+                      target=scenario, network="infiniband",
+                      canonical_events=ops, analytic=False)
+
+
 #: The pinned suite.  Canonical event counts measured at harness
 #: introduction (full simulation, analytic fast path off).
 SUITE: Tuple[PerfTarget, ...] = (
@@ -102,6 +109,14 @@ SUITE: Tuple[PerfTarget, ...] = (
     _app("lu", "A", "infiniband", 55005),
     _app("is", "A", "myrinet", 57113),
     _app("sweep3d", "50", "quadrics", 119879, sample_iters=2),
+    # serving-tier batch scenarios: the SQLite shared cache under a
+    # cold 64-spec batch (miss + store), a warm fully-cached batch
+    # (the service's hot path — per-spec lookup p50 is recorded in the
+    # BENCH row), and four concurrent readers.  "Events" here are
+    # cache operations, normalized like engine events: ops / wall.
+    _cache("cold", 64),
+    _cache("warm", 64),
+    _cache("contended", 256),
 )
 
 #: Reduced suite for CI smoke runs: one cheap representative per layer.
@@ -110,7 +125,8 @@ QUICK_SUITE: Tuple[PerfTarget, ...] = tuple(
     if t.name in ("latency.infiniband", "latency.myrinet",
                   "latency.quadrics", "bandwidth.quadrics",
                   "alltoall.quadrics", "allreduce.quadrics",
-                  "is.A.myrinet"))
+                  "is.A.myrinet", "cache.cold.sqlite",
+                  "cache.warm.sqlite", "cache.contended.sqlite"))
 
 
 def suite_by_name(quick: bool = False) -> Tuple[PerfTarget, ...]:

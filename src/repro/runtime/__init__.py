@@ -33,8 +33,8 @@ from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.metrics import MetricsRegistry
 from repro.obs.ledger import RunLedger
-from repro.runtime.cache import (DEFAULT_CACHE_DIR, CacheStats, ResultCache,
-                                 code_salt)
+from repro.runtime.cache import (BACKENDS, DEFAULT_CACHE_DIR, CacheStats,
+                                 ResultCache, code_salt)
 from repro.runtime.executor import (SpecExecutionError, SweepError,
                                     SweepExecutor, SweepStats, execute_spec,
                                     is_error_payload)
@@ -46,18 +46,27 @@ __all__ = [
     "SweepError", "SpecExecutionError", "SweepStats", "is_error_payload",
     "execute_spec", "configure", "reset", "run_spec", "run_specs",
     "get_cache", "get_executor", "cache_stats", "metrics", "sweep_stats",
-    "DEFAULT_CACHE_DIR", "SPEC_SCHEMA_VERSION", "code_salt",
+    "DEFAULT_CACHE_DIR", "BACKENDS", "SPEC_SCHEMA_VERSION", "code_salt",
     "freeze_mapping", "thaw_mapping",
 ]
 
 #: process-wide runtime state; adjusted via configure()/reset()
 _state = {"jobs": 1, "cache": ResultCache(), "metrics": MetricsRegistry(),
           "timeout_s": None, "strict": False,
-          "ledger": None, "progress": None, "sweep": SweepStats()}
+          "ledger": None, "progress": None, "sweep": SweepStats(),
+          "executor": None}
 
 
 def _stderr_progress(msg: str) -> None:
     print(msg, file=sys.stderr, flush=True)
+
+
+def _invalidate_executor() -> None:
+    """Drop the cached process-wide executor (closing its worker pool)."""
+    old = _state.get("executor")
+    _state["executor"] = None
+    if old is not None:
+        old.close()
 
 
 def configure(jobs: Optional[int] = None, enabled: Optional[bool] = None,
@@ -66,13 +75,18 @@ def configure(jobs: Optional[int] = None, enabled: Optional[bool] = None,
               strict: Optional[bool] = None,
               ledger: Optional[Union[str, Path, RunLedger]] = None,
               progress: Optional[Union[bool, Callable[[str], None]]] = None,
+              cache_backend: Optional[str] = None,
               ) -> None:
     """Adjust the process-wide executor.
 
     ``jobs``: worker count for subsequent sweeps (1 = serial).
     ``enabled``: False drops the cache entirely (every spec re-simulates).
     ``disk_dir``: a path (or True for ``.repro_cache/``) enables the
-    on-disk JSON tier; existing in-memory entries are kept.
+    shared cache tier; existing in-memory entries are kept.
+    ``cache_backend``: shared-tier kind — ``"dir"`` (sharded JSON files,
+    the default) or ``"sqlite"`` (one WAL database with eviction and
+    in-flight claims); defaults to ``$REPRO_CACHE_BACKEND``.  Selecting
+    ``sqlite`` without a ``disk_dir`` uses ``.repro_cache/``.
     ``timeout_s``: per-spec wall-clock budget (``--run-timeout``).
     ``strict``: re-raise sweep failures instead of returning error payloads.
     ``ledger``: a path (or open :class:`~repro.obs.ledger.RunLedger`) to
@@ -80,6 +94,7 @@ def configure(jobs: Optional[int] = None, enabled: Optional[bool] = None,
     ``progress``: True prints live per-spec lines to stderr; a callable
     receives them instead (``--progress``).
     """
+    _invalidate_executor()
     if jobs is not None:
         _state["jobs"] = max(1, int(jobs))
     if enabled is not None:
@@ -87,10 +102,15 @@ def configure(jobs: Optional[int] = None, enabled: Optional[bool] = None,
             _state["cache"] = None
         elif _state["cache"] is None:
             _state["cache"] = ResultCache()
-    if disk_dir is not None and _state["cache"] is not None:
-        if disk_dir is True:
+    cache = _state["cache"]
+    if cache is not None and (disk_dir is not None or cache_backend is not None):
+        if disk_dir is True or (disk_dir is None and cache_backend == "sqlite"
+                                and cache.disk_dir is None):
             disk_dir = DEFAULT_CACHE_DIR
-        _state["cache"].disk_dir = Path(disk_dir)
+        if cache_backend is not None:
+            cache.set_backend(cache_backend, disk_dir=disk_dir)
+        elif disk_dir is not None:
+            cache.disk_dir = Path(disk_dir)
     if timeout_s is not None:
         _state["timeout_s"] = float(timeout_s) if timeout_s > 0 else None
     if strict is not None:
@@ -111,10 +131,16 @@ def configure(jobs: Optional[int] = None, enabled: Optional[bool] = None,
 
 
 def reset(jobs: int = 1, enabled: bool = True,
-          disk_dir: Optional[Union[str, Path]] = None) -> None:
+          disk_dir: Optional[Union[str, Path]] = None,
+          cache_backend: Optional[str] = None) -> None:
     """Fresh runtime state (empty cache, zeroed stats) — used by tests."""
+    _invalidate_executor()
+    old_cache = _state["cache"]
+    if old_cache is not None:
+        old_cache.close()
     _state["jobs"] = max(1, int(jobs))
-    _state["cache"] = ResultCache(disk_dir=disk_dir) if enabled else None
+    _state["cache"] = (ResultCache(disk_dir=disk_dir, backend=cache_backend)
+                       if enabled else None)
     _state["metrics"] = MetricsRegistry()
     _state["timeout_s"] = None
     _state["strict"] = False
@@ -132,14 +158,24 @@ def get_cache() -> Optional[ResultCache]:
 
 
 def get_executor() -> SweepExecutor:
-    """An executor bound to the current jobs/cache configuration."""
-    return SweepExecutor(jobs=_state["jobs"], cache=_state["cache"],
-                         metrics=_state["metrics"],
-                         timeout_s=_state["timeout_s"],
-                         strict=_state["strict"],
-                         ledger=_state["ledger"],
-                         progress=_state["progress"],
-                         sweep=_state["sweep"])
+    """The process-wide executor (persistent across sweeps).
+
+    One executor — and therefore one worker pool — is shared by every
+    ``run_specs`` call until :func:`configure` / :func:`reset` changes
+    the configuration, so parallel sweeps stop paying a pool fork per
+    artifact.
+    """
+    executor = _state.get("executor")
+    if executor is None:
+        executor = SweepExecutor(jobs=_state["jobs"], cache=_state["cache"],
+                                 metrics=_state["metrics"],
+                                 timeout_s=_state["timeout_s"],
+                                 strict=_state["strict"],
+                                 ledger=_state["ledger"],
+                                 progress=_state["progress"],
+                                 sweep=_state["sweep"])
+        _state["executor"] = executor
+    return executor
 
 
 def metrics() -> MetricsRegistry:

@@ -2,13 +2,27 @@
 
 Payloads (plain JSON-able dicts produced by the executor) are keyed by
 the spec's content digest plus a *code-version salt*, so a recalibrated
-model never serves stale numbers.  Two tiers:
+model never serves stale numbers.  Tiers:
 
 - **in-memory** — always on; this is what deduplicates the repeated
   class-B NAS runs across figure and table drivers in one process;
-- **on-disk** — optional; one JSON file per result under
-  ``<dir>/<salt>/<digest>.json`` (conventionally ``.repro_cache/``),
-  surviving across processes and CLI invocations.
+- **shared** — optional, pluggable (:data:`BACKENDS`), surviving across
+  processes and CLI invocations:
+
+  - ``dir``  — one JSON file per result under
+    ``<dir>/<salt>/<digest[:2]>/<digest>.json`` (2-hex-prefix shards so
+    huge sweep caches never degrade into one giant directory scan; the
+    legacy flat ``<dir>/<salt>/<digest>.json`` layout is still read);
+  - ``sqlite`` — a single WAL-mode database
+    (:mod:`repro.runtime.sqlite_cache`) with safe concurrent
+    readers/writers, LRU eviction and a cross-process in-flight claim
+    table — the warm tier behind ``repro serve``.
+
+The backend is selected per :class:`ResultCache` (``backend=``), by the
+CLI (``--cache-backend``) or by the ``REPRO_CACHE_BACKEND`` environment
+variable; ``dir`` remains the default and both backends key payloads by
+the identical ``(salt, digest)`` pair, so they are interchangeable views
+of the same content-addressed space.
 """
 
 from __future__ import annotations
@@ -16,16 +30,24 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from repro.runtime.spec import RunSpec, SPEC_SCHEMA_VERSION
 
-__all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR", "code_salt"]
+__all__ = ["CacheStats", "ResultCache", "DirBackend", "DEFAULT_CACHE_DIR",
+           "BACKENDS", "code_salt", "make_backend"]
 
 #: conventional on-disk location (relative to the working directory)
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: selectable shared-tier kinds (``--cache-backend`` / REPRO_CACHE_BACKEND)
+BACKENDS = ("dir", "sqlite")
+
+#: environment override for the default backend kind
+BACKEND_ENV = "REPRO_CACHE_BACKEND"
 
 
 def code_salt() -> str:
@@ -36,76 +58,134 @@ def code_salt() -> str:
     return f"repro-{__version__}-s{SPEC_SCHEMA_VERSION}"
 
 
+def default_backend_kind() -> str:
+    """Backend kind from ``REPRO_CACHE_BACKEND`` (default: ``dir``)."""
+    kind = os.environ.get(BACKEND_ENV, "").strip().lower() or "dir"
+    if kind not in BACKENDS:
+        raise ValueError(f"unknown cache backend {kind!r} "
+                         f"(from ${BACKEND_ENV}); know {BACKENDS}")
+    return kind
+
+
 @dataclass
 class CacheStats:
-    """Hit/miss accounting: ``misses`` == simulations actually executed."""
+    """Hit/miss accounting: ``misses`` == simulations actually executed.
+
+    Beyond the counters, every :meth:`ResultCache.lookup` records its
+    wall-clock latency so the trailer (and the ledger's
+    ``sweep_finished`` event) can report p50/p95 lookup cost per tier —
+    the number the warm-cache service is judged by.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     disk_hits: int = 0
     corrupt: int = 0
+    evictions: int = 0
+    served: int = 0             #: results adopted from a peer's claim
+    lookup_us: List[float] = field(default_factory=list, repr=False)
+
+    #: bound on retained latency samples (drop-oldest beyond this)
+    MAX_SAMPLES = 65536
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
 
+    @property
+    def mem_hits(self) -> int:
+        """Hits served by the in-memory tier (no disk/db involved)."""
+        return self.hits - self.disk_hits
+
+    def record_lookup(self, elapsed_us: float) -> None:
+        samples = self.lookup_us
+        if len(samples) >= self.MAX_SAMPLES:  # pragma: no cover - bound
+            del samples[: self.MAX_SAMPLES // 2]
+        samples.append(elapsed_us)
+
+    def percentile_us(self, q: float) -> Optional[float]:
+        """q-quantile (0..1) of recorded lookup latencies, in µs."""
+        if not self.lookup_us:
+            return None
+        ordered = sorted(self.lookup_us)
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
     def reset(self) -> None:
         self.hits = self.misses = self.stores = self.disk_hits = 0
-        self.corrupt = 0
+        self.corrupt = self.evictions = self.served = 0
+        self.lookup_us = []
 
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "disk_hits": self.disk_hits,
-                "corrupt": self.corrupt}
+        out = {"hits": self.hits, "misses": self.misses,
+               "stores": self.stores, "disk_hits": self.disk_hits,
+               "mem_hits": self.mem_hits, "corrupt": self.corrupt,
+               "evictions": self.evictions, "served": self.served}
+        p50, p95 = self.percentile_us(0.5), self.percentile_us(0.95)
+        if p50 is not None:
+            out["lookup_p50_us"] = round(p50, 1)
+            out["lookup_p95_us"] = round(p95, 1)
+        return out
 
     def __str__(self) -> str:
         base = (f"{self.hits} hits, {self.misses} misses "
                 f"({self.disk_hits} from disk, {self.stores} stored)")
+        p50 = self.percentile_us(0.5)
+        if p50 is not None:
+            base += (f", lookup p50 {p50 / 1000.0:.3f}ms "
+                     f"p95 {self.percentile_us(0.95) / 1000.0:.3f}ms")
+        if self.served:
+            base += f", {self.served} peer-served"
+        if self.evictions:
+            base += f", {self.evictions} evicted"
         if self.corrupt:
             base += f", {self.corrupt} corrupt quarantined"
         return base
 
 
-class ResultCache:
-    """Digest-keyed payload store with optional JSON spillover to disk."""
+class DirBackend:
+    """Sharded one-JSON-file-per-result tier (the original disk cache).
 
-    def __init__(self, disk_dir: Optional[Union[str, Path]] = None,
-                 salt: Optional[str] = None) -> None:
-        self.salt = salt if salt is not None else code_salt()
-        self.disk_dir = Path(disk_dir) if disk_dir else None
-        self._mem: dict = {}
-        self.stats = CacheStats()
+    Files live under ``<root>/<salt>/<digest[:2]>/<digest>.json``; the
+    pre-shard flat layout ``<root>/<salt>/<digest>.json`` is read (and
+    quarantined) transparently, so existing caches keep serving without
+    a migration.  Writes always land in the sharded layout.
+    """
 
-    # ------------------------------------------------------------------
-    def _path(self, digest: str) -> Path:
-        assert self.disk_dir is not None
-        return self.disk_dir / self.salt / f"{digest}.json"
+    kind = "dir"
+    supports_claims = False
 
-    def lookup(self, spec: RunSpec) -> Optional[dict]:
-        """Return the cached payload, or None (counting a hit or a miss)."""
-        digest = spec.digest
-        payload = self._mem.get(digest)
-        if payload is not None:
-            self.stats.hits += 1
-            return payload
-        if self.disk_dir is not None:
-            path = self._path(digest)
-            if path.is_file():
-                try:
-                    payload = json.loads(path.read_text())
-                except (OSError, ValueError):
-                    payload = None
-                if isinstance(payload, dict):
-                    self._mem[digest] = payload
-                    self.stats.hits += 1
-                    self.stats.disk_hits += 1
-                    return payload
-                # unparseable (or non-dict) file: quarantine it so the
-                # next run re-simulates once instead of re-failing the
-                # parse forever; the .corrupt file is kept for forensics
-                self._quarantine(path)
-        self.stats.misses += 1
+    def __init__(self, root: Union[str, Path], salt: str,
+                 stats: Optional[CacheStats] = None) -> None:
+        self.root = Path(root)
+        self.salt = salt
+        self.stats = stats if stats is not None else CacheStats()
+
+    # -- layout --------------------------------------------------------
+    def path(self, digest: str) -> Path:
+        """Sharded location for ``digest`` (where writes go)."""
+        return self.root / self.salt / digest[:2] / f"{digest}.json"
+
+    def legacy_path(self, digest: str) -> Path:
+        """Flat pre-shard location (read-through only)."""
+        return self.root / self.salt / f"{digest}.json"
+
+    # -- payload I/O ---------------------------------------------------
+    def get(self, digest: str) -> Optional[dict]:
+        for path in (self.path(digest), self.legacy_path(digest)):
+            if not path.is_file():
+                continue
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                payload = None
+            if isinstance(payload, dict):
+                return payload
+            # unparseable (or non-dict) file: quarantine it so the next
+            # run re-simulates once instead of re-failing the parse
+            # forever; the .corrupt file is kept for forensics
+            self._quarantine(path)
         return None
 
     def _quarantine(self, path: Path) -> None:
@@ -115,23 +195,182 @@ class ResultCache:
             return
         self.stats.corrupt += 1
 
+    def put(self, digest: str, payload: dict) -> None:
+        path = self.path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # write-then-rename so a concurrent reader never sees a torn file
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<DirBackend {self.root}>"
+
+
+def make_backend(kind: Optional[str], root: Union[str, Path], salt: str,
+                 stats: Optional[CacheStats] = None, **options):
+    """Build a shared-tier backend of ``kind`` rooted at ``root``.
+
+    ``kind=None`` resolves through ``REPRO_CACHE_BACKEND`` (default
+    ``dir``).  ``options`` are backend-specific (sqlite: ``max_bytes``,
+    ``max_age_s``, ``claim_stale_s``).
+    """
+    kind = kind or default_backend_kind()
+    if kind == "dir":
+        return DirBackend(root, salt, stats=stats)
+    if kind == "sqlite":
+        from repro.runtime.sqlite_cache import SqliteBackend
+
+        return SqliteBackend(root, salt, stats=stats, **options)
+    raise ValueError(f"unknown cache backend {kind!r}; know {BACKENDS}")
+
+
+class ResultCache:
+    """Digest-keyed payload store: in-memory tier + optional shared tier.
+
+    ``disk_dir`` selects the shared tier's root (None = memory only);
+    ``backend`` picks its kind (``"dir"`` | ``"sqlite"`` | a prebuilt
+    backend instance), defaulting to ``REPRO_CACHE_BACKEND`` or the
+    sharded-directory tier.  The historical ``cache.disk_dir = path``
+    assignment keeps working: it (re)builds a backend of the configured
+    kind at the new root.
+    """
+
+    def __init__(self, disk_dir: Optional[Union[str, Path]] = None,
+                 salt: Optional[str] = None,
+                 backend: Union[str, object, None] = None,
+                 **backend_options) -> None:
+        self.salt = salt if salt is not None else code_salt()
+        self._mem: dict = {}
+        self.stats = CacheStats()
+        self._backend = None
+        self._backend_kind: Optional[str] = None
+        self._backend_options = backend_options
+        if backend is not None and not isinstance(backend, str):
+            # prebuilt backend instance: adopt it (and share our stats)
+            backend.stats = self.stats
+            self._backend = backend
+            self._backend_kind = getattr(backend, "kind", "custom")
+        else:
+            self._backend_kind = backend
+            if disk_dir is not None:
+                self.disk_dir = Path(disk_dir)
+
+    # -- shared-tier plumbing ------------------------------------------
+    @property
+    def backend(self):
+        """The shared-tier backend instance, or None (memory only)."""
+        return self._backend
+
+    @property
+    def backend_kind(self) -> Optional[str]:
+        """Kind of the *active* shared tier (None while memory-only)."""
+        return getattr(self._backend, "kind", None)
+
+    @property
+    def disk_dir(self) -> Optional[Path]:
+        root = getattr(self._backend, "root", None)
+        return Path(root) if root is not None else None
+
+    @disk_dir.setter
+    def disk_dir(self, value: Optional[Union[str, Path]]) -> None:
+        if value is None:
+            self._close_backend()
+            self._backend = None
+            return
+        self._close_backend()
+        self._backend = make_backend(self._backend_kind, Path(value),
+                                     self.salt, stats=self.stats,
+                                     **self._backend_options)
+
+    def set_backend(self, kind: str,
+                    disk_dir: Optional[Union[str, Path]] = None,
+                    **options) -> None:
+        """Switch the shared tier to ``kind`` (rebuilding at the current
+        root, or at ``disk_dir`` when given)."""
+        if kind not in BACKENDS:
+            raise ValueError(f"unknown cache backend {kind!r}; "
+                             f"know {BACKENDS}")
+        root = Path(disk_dir) if disk_dir is not None else self.disk_dir
+        self._backend_kind = kind
+        if options:
+            self._backend_options = options
+        if root is not None:
+            self.disk_dir = root
+
+    def _close_backend(self) -> None:
+        if self._backend is not None:
+            self._backend.close()
+
+    @property
+    def claims(self):
+        """The backend's claim table, when it has one (sqlite), else None."""
+        backend = self._backend
+        if backend is not None and getattr(backend, "supports_claims", False):
+            return backend
+        return None
+
+    def _path(self, digest: str) -> Path:
+        """Sharded on-disk location (dir backend only; kept for tests)."""
+        assert isinstance(self._backend, DirBackend)
+        return self._backend.path(digest)
+
+    # ------------------------------------------------------------------
+    def lookup(self, spec: RunSpec) -> Optional[dict]:
+        """Return the cached payload, or None (counting a hit or a miss)."""
+        t0 = time.perf_counter()
+        digest = spec.digest
+        payload = self._mem.get(digest)
+        if payload is not None:
+            self.stats.hits += 1
+            self.stats.record_lookup((time.perf_counter() - t0) * 1e6)
+            return payload
+        if self._backend is not None:
+            payload = self._backend.get(digest)
+            if payload is not None:
+                self._mem[digest] = payload
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self.stats.record_lookup((time.perf_counter() - t0) * 1e6)
+                return payload
+        self.stats.misses += 1
+        self.stats.record_lookup((time.perf_counter() - t0) * 1e6)
+        return None
+
+    def peek(self, spec: RunSpec) -> Optional[dict]:
+        """Shared-tier-only read with no hit/miss accounting.
+
+        Used by claim waiters polling for a peer's result: the poll
+        loop must not inflate miss counters or latency samples.
+        """
+        payload = self._mem.get(spec.digest)
+        if payload is not None:
+            return payload
+        if self._backend is None:
+            return None
+        return self._backend.get(spec.digest)
+
     def store(self, spec: RunSpec, payload: dict) -> None:
         digest = spec.digest
         self._mem[digest] = payload
         self.stats.stores += 1
-        if self.disk_dir is not None:
-            path = self._path(digest)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # write-then-rename so a concurrent reader never sees a torn file
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(payload, fh, separators=(",", ":"))
-                os.replace(tmp, path)
-            except BaseException:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
-                raise
+        if self._backend is not None:
+            self._backend.put(digest, payload)
+
+    def adopt(self, spec: RunSpec, payload: dict) -> None:
+        """Install a payload obtained from a peer (memory tier only —
+        the peer already wrote the shared tier)."""
+        self._mem[spec.digest] = payload
+        self.stats.served += 1
 
     # ------------------------------------------------------------------
     def __contains__(self, spec: RunSpec) -> bool:
@@ -141,11 +380,17 @@ class ResultCache:
         return len(self._mem)
 
     def clear(self, stats: bool = True) -> None:
-        """Drop in-memory entries (disk files are left alone)."""
+        """Drop in-memory entries (the shared tier is left alone)."""
         self._mem.clear()
         if stats:
             self.stats.reset()
 
+    def close(self) -> None:
+        """Release backend resources (db connections); memory tier stays."""
+        self._close_backend()
+
     def __repr__(self) -> str:  # pragma: no cover
-        where = f" disk={self.disk_dir}" if self.disk_dir else ""
+        where = ""
+        if self._backend is not None:
+            where = f" {self.backend_kind}={self.disk_dir}"
         return f"<ResultCache {len(self._mem)} entries{where} [{self.stats}]>"

@@ -22,6 +22,7 @@ from __future__ import annotations
 import functools
 import inspect
 import multiprocessing
+import threading
 import time
 import traceback
 from dataclasses import dataclass
@@ -272,8 +273,19 @@ class SweepStats:
     unique: int = 0         #: distinct digests among them
     executed: int = 0       #: simulated successfully this run
     cached: int = 0         #: served from the result cache
+    served: int = 0         #: adopted from a concurrent peer's execution
     errors: int = 0         #: resolved to error payloads
     wall_s: float = 0.0     #: summed per-spec wall time (simulated only)
+
+    def merge(self, other: "SweepStats") -> None:
+        """Fold another executor's counters in (service-wide totals)."""
+        self.specs += other.specs
+        self.unique += other.unique
+        self.executed += other.executed
+        self.cached += other.cached
+        self.served += other.served
+        self.errors += other.errors
+        self.wall_s += other.wall_s
 
     def line(self) -> str:
         """One-line human summary (the ``sweep:`` trailer of the CLI)."""
@@ -284,19 +296,66 @@ class SweepStats:
                          f"wall (mean {mean:.2f}s)")
         if self.cached:
             parts.append(f"{self.cached} cache-served")
+        if self.served:
+            parts.append(f"{self.served} peer-served")
         if self.errors:
             parts.append(f"{self.errors} FAILED")
         return ", ".join(parts)
+
+
+class _ClaimHeartbeat(threading.Thread):
+    """Background heartbeat on held claims while their specs execute.
+
+    The executor's main thread blocks in the pool's ``imap`` while
+    simulations run, so it cannot refresh claim heartbeats itself; this
+    daemon thread keeps the claims visibly alive so waiters never
+    mistake a long simulation for a crashed winner.
+    """
+
+    def __init__(self, claims, digests, interval_s: Optional[float] = None
+                 ) -> None:
+        super().__init__(daemon=True, name="repro-claim-heartbeat")
+        self.claims = claims
+        self.digests = tuple(digests)
+        stale = getattr(claims, "claim_stale_s", 60.0)
+        self.interval_s = interval_s if interval_s is not None \
+            else max(0.05, stale / 4.0)
+        self._stop_event = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval_s):
+            try:
+                self.claims.heartbeat_claims(self.digests)
+            except Exception:  # pragma: no cover - db teardown race
+                return
+
+    def stop(self) -> None:
+        self._stop_event.set()
+        self.join(timeout=5.0)
 
 
 class SweepExecutor:
     """Run a sweep of independent RunSpecs, cached and optionally parallel.
 
     ``jobs <= 1`` executes serially in-process; ``jobs > 1`` fans the
-    cache misses out over a ``multiprocessing`` pool.  Specs appearing
-    more than once in a sweep are simulated once.  Results come back
-    aligned with the input order either way, and — the sims being
-    deterministic — parallel payloads are identical to serial ones.
+    cache misses out over a persistent ``multiprocessing`` pool that is
+    created on first use and **reused across ``run()`` calls** (fork
+    cost is paid once per executor, not once per sweep).  Call
+    :meth:`close` — or use the executor as a context manager — to
+    release the workers; a shared pool may also be passed in
+    (``pool=``), in which case the executor never closes it.  Specs
+    appearing more than once in a sweep are simulated once.  Results
+    come back aligned with the input order either way, and — the sims
+    being deterministic — parallel payloads are identical to serial
+    ones.
+
+    When the cache's shared tier has a claim table (the SQLite backend),
+    concurrent executors in *different* processes (or threads) dedup
+    in-flight work: each pending digest is claimed before execution, and
+    an executor that loses the claim polls the shared tier for the
+    winner's result instead of re-simulating (``claim_won`` /
+    ``claim_waited`` / ``served`` ledger events).  A crashed winner's
+    claim goes stale and is taken over, so a waiter never wedges.
 
     A failing spec yields an error payload (see :func:`is_error_payload`)
     in its slot instead of aborting the sweep; pass ``strict=True`` to
@@ -308,7 +367,8 @@ class SweepExecutor:
     - ``ledger`` — a :class:`repro.obs.ledger.RunLedger`; every sweep
       emits structured JSONL lifecycle events (``sweep_started``,
       ``cache_hit``, ``run_started``, ``run_finished``, ``run_error``,
-      ``sweep_finished``) with spec digests and wall durations.
+      ``claim_won``, ``claim_waited``, ``served``, ``sweep_finished``)
+      with spec digests and wall durations.
     - ``progress`` — a callable taking one string; called with a short
       live line per resolved spec.
     - ``sweep`` — a :class:`SweepStats` to accumulate into (the runtime
@@ -321,7 +381,8 @@ class SweepExecutor:
                  strict: bool = False,
                  ledger=None,
                  progress: Optional[Callable[[str], None]] = None,
-                 sweep: Optional[SweepStats] = None) -> None:
+                 sweep: Optional[SweepStats] = None,
+                 pool=None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.timeout_s = timeout_s
@@ -333,6 +394,37 @@ class SweepExecutor:
         #: executor resolved (cache hits included — the metrics describe
         #: the simulated run, however it was obtained)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._pool = pool
+        self._owns_pool = False
+
+    # -- worker-pool lifecycle -----------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=self.jobs)
+            self._owns_pool = True
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (no-op for serial or shared pools)."""
+        pool, self._pool = self._pool, None
+        if pool is not None and self._owns_pool:
+            pool.close()
+            pool.join()
+        self._owns_pool = False
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - gc-time safety net
+        pool = getattr(self, "_pool", None)
+        if pool is not None and getattr(self, "_owns_pool", False):
+            try:
+                pool.terminate()
+            except Exception:
+                pass
 
     # -- observability plumbing (no-ops when hooks are unset) ----------
     def _emit(self, event: str, **fields) -> None:
@@ -343,10 +435,31 @@ class SweepExecutor:
         if self.progress is not None:
             self.progress(msg)
 
+    # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> List[dict]:
+        specs = list(specs)
+        out: List[Optional[dict]] = [None] * len(specs)
+        for index, _spec, payload in self.run_iter(specs):
+            out[index] = payload
+        return out  # type: ignore[return-value]
+
+    def run_iter(self, specs: Sequence[RunSpec]
+                 ) -> Iterator[Tuple[int, RunSpec, dict]]:
+        """Yield ``(index, spec, payload)`` as each spec resolves.
+
+        Cache hits stream out immediately; executed specs stream as
+        they finish; claim-waited specs stream as the winning peer's
+        results land in the shared tier.  Every input index is yielded
+        exactly once (duplicate specs resolve together, the moment
+        their digest does).  This is the primitive the NDJSON service
+        front-end streams from.
+        """
         specs = list(specs)
         sweep = self.sweep
         sweep.specs += len(specs)
+        indexes: Dict[str, List[int]] = {}
+        for i, spec in enumerate(specs):
+            indexes.setdefault(spec.digest, []).append(i)
         resolved: Dict[str, dict] = {}
         pending: List[RunSpec] = []
         seen_pending = set()
@@ -359,66 +472,176 @@ class SweepExecutor:
                 resolved[digest] = payload
                 sweep.cached += 1
                 self._emit("cache_hit", spec=spec.describe(), digest=digest)
+                yield from self._resolve(specs, indexes, spec, payload)
             else:
                 pending.append(spec)
                 seen_pending.add(digest)
         sweep.unique += len(resolved) + len(pending)
         errors: List[dict] = []
         if pending:
+            claims = self.cache.claims if self.cache is not None else None
+            owned, waiting = pending, []
+            if claims is not None:
+                missing = pending
+                owned, pending = [], []
+                for spec in missing:
+                    if claims.try_claim(spec.digest):
+                        # a winner may have stored + released between our
+                        # cache miss and this claim; store happens-before
+                        # release, so one re-check closes the race and
+                        # keeps execution exactly-once
+                        payload = self.cache.peek(spec)
+                        if payload is not None \
+                                and not is_error_payload(payload):
+                            claims.release_claim(spec.digest)
+                            self.cache.adopt(spec, payload)
+                            resolved[spec.digest] = payload
+                            sweep.cached += 1
+                            self._emit("cache_hit", spec=spec.describe(),
+                                       digest=spec.digest)
+                            yield from self._resolve(specs, indexes, spec,
+                                                     payload)
+                            continue
+                        owned.append(spec)
+                        pending.append(spec)
+                        self._emit("claim_won", spec=spec.describe(),
+                                   digest=spec.digest)
+                    else:
+                        waiting.append(spec)
+                        pending.append(spec)
+                        self._emit("claim_waited", spec=spec.describe(),
+                                   digest=spec.digest)
             self._emit("sweep_started", specs=len(specs),
                        unique=len(resolved) + len(pending),
                        cached=len(resolved), pending=len(pending),
-                       jobs=self.jobs)
+                       jobs=self.jobs, waiting=len(waiting))
             t_sweep = time.perf_counter()
-            done = 0
-            for spec, payload in self._iter_execute(pending):
+            heartbeat = None
+            if claims is not None and owned:
+                heartbeat = _ClaimHeartbeat(
+                    claims, (s.digest for s in owned))
+                heartbeat.start()
+            try:
+                done = 0
+                for spec, payload in self._iter_execute(owned):
+                    done += 1
+                    payload = self._complete(spec, payload, errors, claims,
+                                             done, len(owned))
+                    resolved[spec.digest] = payload
+                    yield from self._resolve(specs, indexes, spec, payload)
+            finally:
+                if heartbeat is not None:
+                    heartbeat.stop()
+            peer_served = 0
+            for spec in waiting:
+                payload, from_peer = self._await_peer(spec, claims, errors)
+                peer_served += 1 if from_peer else 0
                 resolved[spec.digest] = payload
-                elapsed = payload.pop("_elapsed_s", 0.0)
-                done += 1
-                tag = f"[{done}/{len(pending)}]"
-                if is_error_payload(payload):
-                    errors.append(payload)
-                    sweep.errors += 1
-                    err = payload.get("error", {})
-                    self._emit("run_error", spec=spec.describe(),
-                               digest=spec.digest, wall_s=round(elapsed, 4),
-                               type=err.get("type", "Exception"),
-                               message=err.get("message", ""))
-                    self._progress(f"{tag} FAILED {spec.describe()} "
-                                   f"({err.get('type', 'Exception')})")
-                    continue
-                sweep.executed += 1
-                sweep.wall_s += elapsed
-                wall = payload.pop("_wall_s", None)
-                if wall:
-                    # aggregate real time (and the event count it bought)
-                    # out-of-band: events/sec then reflects only specs
-                    # that actually simulated, never cache hits
-                    self.metrics.inc("engine.wall_s", wall)
-                    m = payload.get("metrics") or {}
-                    self.metrics.inc(
-                        "engine.events_executed",
-                        m.get("counters", {}).get("engine.events_total", 0.0))
-                if self.cache is not None:
-                    self.cache.store(spec, payload)
-                summary = _ledger_summary(payload)
-                self._emit("run_finished", spec=spec.describe(),
-                           digest=spec.digest, wall_s=round(elapsed, 4),
-                           **summary)
-                self._progress(f"{tag} done {spec.describe()} "
-                               f"({elapsed:.2f}s)")
-            self._emit("sweep_finished", executed=len(pending) - len(errors),
-                       errors=len(errors),
-                       wall_s=round(time.perf_counter() - t_sweep, 4))
-        for payload in resolved.values():
-            if is_error_payload(payload):
-                continue
+                yield from self._resolve(specs, indexes, spec, payload)
+            finish = {"executed": len(pending) - peer_served - len(errors),
+                      "errors": len(errors),
+                      "wall_s": round(time.perf_counter() - t_sweep, 4)}
+            if waiting:
+                finish["waited"] = len(waiting)
+            if self.cache is not None:
+                finish["cache"] = self.cache.stats.as_dict()
+            self._emit("sweep_finished", **finish)
+        if errors and self.strict:
+            raise SweepError(errors)
+
+    def _resolve(self, specs, indexes, spec, payload):
+        """Yield every input index of ``spec``'s digest, merging metrics
+        once per unique digest."""
+        if not is_error_payload(payload):
             m = payload.get("metrics")
             if m:
                 self.metrics.merge(m)
-        if errors and self.strict:
-            raise SweepError(errors)
-        return [resolved[spec.digest] for spec in specs]
+        for index in indexes[spec.digest]:
+            yield index, specs[index], payload
+
+    def _complete(self, spec: RunSpec, payload: dict, errors: List[dict],
+                  claims, pos: int, total: int) -> dict:
+        """Post-execution bookkeeping for one simulated spec."""
+        elapsed = payload.pop("_elapsed_s", 0.0)
+        tag = f"[{pos}/{total}]"
+        if is_error_payload(payload):
+            errors.append(payload)
+            self.sweep.errors += 1
+            err = payload.get("error", {})
+            self._emit("run_error", spec=spec.describe(),
+                       digest=spec.digest, wall_s=round(elapsed, 4),
+                       type=err.get("type", "Exception"),
+                       message=err.get("message", ""))
+            self._progress(f"{tag} FAILED {spec.describe()} "
+                           f"({err.get('type', 'Exception')})")
+        else:
+            self.sweep.executed += 1
+            self.sweep.wall_s += elapsed
+            wall = payload.pop("_wall_s", None)
+            if wall:
+                # aggregate real time (and the event count it bought)
+                # out-of-band: events/sec then reflects only specs
+                # that actually simulated, never cache hits
+                self.metrics.inc("engine.wall_s", wall)
+                m = payload.get("metrics") or {}
+                self.metrics.inc(
+                    "engine.events_executed",
+                    m.get("counters", {}).get("engine.events_total", 0.0))
+            if self.cache is not None:
+                self.cache.store(spec, payload)
+            summary = _ledger_summary(payload)
+            self._emit("run_finished", spec=spec.describe(),
+                       digest=spec.digest, wall_s=round(elapsed, 4),
+                       **summary)
+            self._progress(f"{tag} done {spec.describe()} "
+                           f"({elapsed:.2f}s)")
+        if claims is not None:
+            claims.release_claim(spec.digest)
+        return payload
+
+    def _await_peer(self, spec: RunSpec, claims, errors: List[dict]
+                    ) -> Tuple[dict, bool]:
+        """Resolve a claim-lost spec: poll for the winner's result.
+
+        Backs off exponentially between polls.  If the claim frees
+        without a result (the winner failed or crashed — stale claims
+        are taken over), we claim and execute the spec ourselves, so
+        overlapping batches always drain.  Returns ``(payload, True)``
+        when the result came from the peer, ``(payload, False)`` when
+        we ended up executing it locally.
+        """
+        delay = 0.002
+        while True:
+            payload = self.cache.peek(spec)
+            if payload is not None and not is_error_payload(payload):
+                self.cache.adopt(spec, payload)
+                self.sweep.served += 1
+                self._emit("served", spec=spec.describe(), digest=spec.digest)
+                self._progress(f"served {spec.describe()} (peer result)")
+                return payload, True
+            if claims.try_claim(spec.digest):
+                # same re-check as run_iter: the winner may have stored
+                # and released between our peek and this claim
+                payload = self.cache.peek(spec)
+                if payload is not None and not is_error_payload(payload):
+                    claims.release_claim(spec.digest)
+                    self.cache.adopt(spec, payload)
+                    self.sweep.served += 1
+                    self._emit("served", spec=spec.describe(),
+                               digest=spec.digest)
+                    self._progress(f"served {spec.describe()} (peer result)")
+                    return payload, True
+                # winner vanished without a result: execute it ourselves
+                self._emit("claim_won", spec=spec.describe(),
+                           digest=spec.digest)
+                self._emit("run_started", spec=spec.describe(),
+                           digest=spec.digest)
+                payload = _safe_execute(spec, timeout_s=self.timeout_s,
+                                        keep_exception=True)
+                return self._complete(spec, payload, errors, claims, 1, 1), \
+                    False
+            time.sleep(delay)
+            delay = min(delay * 1.7, 0.1)
 
     def run_one(self, spec: RunSpec) -> dict:
         """One spec; a failure re-raises (the original exception when the
@@ -451,9 +674,8 @@ class SweepExecutor:
         for spec in pending:
             self._emit("run_started", spec=spec.describe(), digest=spec.digest)
         worker = functools.partial(_safe_execute, timeout_s=self.timeout_s)
-        nworkers = min(self.jobs, len(pending))
-        with multiprocessing.Pool(processes=nworkers) as pool:
-            yield from zip(pending, pool.imap(worker, pending, chunksize=1))
+        pool = self._ensure_pool()
+        yield from zip(pending, pool.imap(worker, pending, chunksize=1))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<SweepExecutor jobs={self.jobs} cache={self.cache!r}>"

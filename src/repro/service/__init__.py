@@ -1,0 +1,17 @@
+"""Warm-cache sweep service: batch front-end over the shared result tier.
+
+The service turns the process-wide sweep pipeline into a long-lived
+endpoint: one :class:`~repro.service.server.SweepService` owns a warm
+:class:`~repro.runtime.cache.ResultCache` (usually the SQLite backend,
+which adds cross-process in-flight claims) and a persistent worker
+pool, and any number of clients POST RunSpec batches and stream back
+per-spec results as NDJSON — each line the moment its spec resolves.
+
+Stdlib only: the server is ``asyncio.start_server`` speaking just
+enough HTTP/1.1, the client is ``http.client``.  See DESIGN.md §12.
+"""
+
+from repro.service.client import iter_batch, submit_batch
+from repro.service.server import SweepService, serve
+
+__all__ = ["SweepService", "serve", "submit_batch", "iter_batch"]

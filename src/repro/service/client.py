@@ -1,0 +1,93 @@
+"""Stdlib client for the sweep service: submit batches, stream results.
+
+:func:`iter_batch` POSTs a RunSpec batch and yields one parsed NDJSON
+record per spec as the server resolves it (cache hits arrive in
+milliseconds, fresh simulations as they finish); :func:`submit_batch`
+collects them back into input order.  The transport is plain
+``http.client`` with ``Connection: close`` framing — lines are read
+until EOF, so no chunked-encoding support is needed on either side.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.runtime.spec import RunSpec
+
+__all__ = ["ServiceError", "iter_batch", "submit_batch", "get_json"]
+
+Specish = Union[RunSpec, Dict]
+
+
+class ServiceError(RuntimeError):
+    """The server refused or aborted a request (HTTP error or bad line)."""
+
+
+def _jsonable(spec: Specish) -> dict:
+    return spec.to_jsonable() if isinstance(spec, RunSpec) else dict(spec)
+
+
+def iter_batch(specs: Sequence[Specish], host: str = "127.0.0.1",
+               port: int = 8123, timeout_s: float = 600.0) -> Iterator[dict]:
+    """POST a batch, yield one result record per line as it streams in.
+
+    Records look like ``{"index": 3, "digest": "...", "payload": {...},
+    "payload_digest": "...", "error": false}``; the terminal
+    ``{"done": true}`` summary is yielded last.  Raises
+    :class:`ServiceError` on a non-200 response or a server-reported
+    batch failure.
+    """
+    body = json.dumps({"specs": [_jsonable(s) for s in specs]}).encode("utf-8")
+    conn = HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        conn.request("POST", "/batch", body=body,
+                     headers={"Content-Type": "application/json",
+                              "Connection": "close"})
+        resp = conn.getresponse()
+        if resp.status != 200:
+            detail = resp.read().decode("utf-8", "replace").strip()
+            raise ServiceError(f"HTTP {resp.status}: {detail}")
+        for raw in resp:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ServiceError(f"bad NDJSON line from server: {exc}")
+            if record.get("done") and record.get("failed"):
+                raise ServiceError(f"batch failed: {record['failed']}")
+            yield record
+    finally:
+        conn.close()
+
+
+def submit_batch(specs: Sequence[Specish], host: str = "127.0.0.1",
+                 port: int = 8123, timeout_s: float = 600.0) -> List[dict]:
+    """Run a batch through the service; payloads back in input order."""
+    payloads: List[Optional[dict]] = [None] * len(specs)
+    for record in iter_batch(specs, host=host, port=port, timeout_s=timeout_s):
+        if record.get("done"):
+            continue
+        payloads[record["index"]] = record["payload"]
+    missing = [i for i, p in enumerate(payloads) if p is None]
+    if missing:
+        raise ServiceError(f"server never resolved specs {missing}")
+    return payloads  # type: ignore[return-value]
+
+
+def get_json(path: str, host: str = "127.0.0.1", port: int = 8123,
+             timeout_s: float = 30.0) -> dict:
+    """GET a JSON endpoint (``/healthz``, ``/stats``)."""
+    conn = HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        data = resp.read().decode("utf-8", "replace")
+        if resp.status != 200:
+            raise ServiceError(f"HTTP {resp.status}: {data.strip()}")
+        return json.loads(data)
+    finally:
+        conn.close()

@@ -45,7 +45,7 @@ class TestSuiteDefinition:
         for t in SUITE:
             d = t.to_jsonable()
             assert d["name"] == t.name
-            assert d["kind"] in ("microbench", "app")
+            assert d["kind"] in ("microbench", "app", "cache")
             if t.kind == "app":
                 assert "klass" in d
             assert d["canonical_events"] == t.canonical_events

@@ -145,7 +145,8 @@ class TestResultCache:
         a = ResultCache(disk_dir=tmp_path)
         a.lookup(spec)
         a.store(spec, {"points": [[4, 5.0]]})
-        path = tmp_path / code_salt() / f"{spec.digest}.json"
+        # writes land in the 2-hex-prefix shard of the digest
+        path = tmp_path / code_salt() / spec.digest[:2] / f"{spec.digest}.json"
         assert path.is_file()
         assert json.loads(path.read_text()) == {"points": [[4, 5.0]]}
 
@@ -154,6 +155,16 @@ class TestResultCache:
         assert b.stats.disk_hits == 1
         assert b.lookup(spec) == {"points": [[4, 5.0]]}  # now from memory
         assert b.stats.disk_hits == 1 and b.stats.hits == 2
+
+    def test_legacy_flat_layout_still_readable(self, tmp_path):
+        """Pre-sharding caches wrote <salt>/<digest>.json — keep serving them."""
+        spec = tiny_bench_spec()
+        flat = tmp_path / code_salt() / f"{spec.digest}.json"
+        flat.parent.mkdir(parents=True)
+        flat.write_text(json.dumps({"legacy": True}))
+        cache = ResultCache(disk_dir=tmp_path)
+        assert cache.lookup(spec) == {"legacy": True}
+        assert cache.stats.disk_hits == 1
 
     def test_salt_mismatch_is_a_miss(self, tmp_path):
         """A recalibration (new version salt) must never serve stale data."""

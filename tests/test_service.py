@@ -1,0 +1,220 @@
+"""Tests for the batch service: wire format, streaming, dedup, perf.
+
+What must hold for ``repro serve`` to be trustworthy:
+
+- ``RunSpec.to_jsonable``/``from_jsonable`` round-trip *digest-stably*
+  — a spec serialized over the wire keys the same cache rows;
+- ``run_iter`` streams every input index exactly once, cache hits
+  first, duplicates together — the primitive the NDJSON stream wraps;
+- the executor's worker pool persists across ``run()`` calls and
+  parallel payloads stay byte-identical to serial ones;
+- two clients posting the same batch concurrently cost one execution
+  per unique digest and read byte-identical payloads (the acceptance
+  scenario, driven over real HTTP);
+- the warm SQLite tier answers a fully-cached 64-spec batch at
+  < 1 ms per-spec lookup p50.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.runtime import ResultCache, RunSpec, SweepExecutor
+from repro.service.client import ServiceError, get_json, iter_batch, submit_batch
+from repro.service.server import (SweepService, payload_digest, pick_free_port,
+                                  serve)
+
+
+def spec_n(n: int) -> RunSpec:
+    return RunSpec.microbench("latency", "infiniband", sizes=(4,),
+                              iters=2, seed=n)
+
+
+# ----------------------------------------------------------------------
+# wire format
+# ----------------------------------------------------------------------
+class TestWireFormat:
+    @pytest.mark.parametrize("spec", [
+        RunSpec.microbench("latency", "myrinet", sizes=[4, 8], iters=5,
+                           net_overrides={"bus_kind": "pci", "mtu": 2048},
+                           mpi_options={"rendezvous": "send_recv"}, seed=3),
+        RunSpec.app("is", "B", "quadrics", 8, ppn=2, verify=True,
+                    faults={"drop_rate": 0.01}, topology="fat_tree"),
+        RunSpec(kind="microbench", target="bandwidth", network="infiniband"),
+    ])
+    def test_roundtrip_is_digest_stable(self, spec):
+        wire = json.loads(json.dumps(spec.to_jsonable()))
+        back = RunSpec.from_jsonable(wire)
+        assert back == spec
+        assert back.digest == spec.digest
+
+    def test_defaults_elided(self):
+        data = RunSpec(kind="microbench", target="latency").to_jsonable()
+        assert set(data) == {"kind", "target"}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="bogus"):
+            RunSpec.from_jsonable({"kind": "app", "target": "is",
+                                   "klass": "A", "bogus": 1})
+
+    def test_handwritten_dict_accepted(self):
+        spec = RunSpec.from_jsonable(
+            {"kind": "microbench", "target": "latency",
+             "network": "myrinet", "sizes": [4], "iters": 3,
+             "mpi_options": {"rendezvous": "send_recv"}})
+        assert spec.sizes == (4,)
+        assert dict(spec.mpi_options) == {"rendezvous": "send_recv"}
+
+
+# ----------------------------------------------------------------------
+# run_iter streaming + persistent pool
+# ----------------------------------------------------------------------
+class TestRunIter:
+    def test_every_index_yielded_once_duplicates_together(self):
+        specs = [spec_n(0), spec_n(1), spec_n(0), spec_n(1), spec_n(0)]
+        executor = SweepExecutor(jobs=1, cache=ResultCache())
+        seen = [index for index, _s, _p in executor.run_iter(specs)]
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+        # duplicate indexes of one digest arrive adjacently
+        pos = {i: n for n, i in enumerate(seen)}
+        assert abs(pos[0] - pos[2]) in (1, 2) and abs(pos[2] - pos[4]) in (1, 2)
+
+    def test_cache_hits_stream_before_executions(self):
+        cache = ResultCache()
+        warm = spec_n(0)
+        SweepExecutor(jobs=1, cache=cache).run([warm])
+        specs = [spec_n(1), warm]  # cold first in input order
+        seen = [i for i, _s, _p in SweepExecutor(jobs=1,
+                                                 cache=cache).run_iter(specs)]
+        assert seen[0] == 1  # the warm spec resolved first
+
+    def test_pool_persists_and_parallel_matches_serial(self):
+        specs = [RunSpec.microbench("latency", net, sizes=(4, 64), iters=3)
+                 for net in ("infiniband", "myrinet", "quadrics")]
+        serial = SweepExecutor(jobs=1).run(specs)
+        with SweepExecutor(jobs=2) as executor:
+            first = executor.run(specs)
+            pool = executor._pool
+            second = executor.run(specs)
+            assert executor._pool is pool and pool is not None
+        assert executor._pool is None  # context exit released it
+        assert json.dumps(serial, sort_keys=True) == \
+            json.dumps(first, sort_keys=True)
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# the service over real HTTP
+# ----------------------------------------------------------------------
+@pytest.fixture
+def live_service(tmp_path):
+    port = pick_free_port()
+    service = SweepService(cache_dir=tmp_path / "cache", jobs=1,
+                           ledger=tmp_path / "ledger.jsonl")
+    thread = threading.Thread(target=serve, args=(service, "127.0.0.1", port),
+                              daemon=True)
+    thread.start()
+    for _ in range(200):
+        try:
+            get_json("/healthz", port=port, timeout_s=2)
+            break
+        except Exception:
+            time.sleep(0.02)
+    else:
+        pytest.fail("service did not come up")
+    yield service, port, tmp_path / "ledger.jsonl"
+
+
+class TestService:
+    def test_healthz_and_stats(self, live_service):
+        _service, port, _ledger = live_service
+        health = get_json("/healthz", port=port)
+        assert health["ok"] and health["backend"] == "sqlite"
+        stats = get_json("/stats", port=port)
+        assert stats["backend"] == "sqlite"
+        assert "eviction" in stats
+
+    def test_batch_streams_every_spec(self, live_service):
+        _service, port, _ledger = live_service
+        specs = [spec_n(0), spec_n(1), spec_n(0)]
+        records = list(iter_batch(specs, port=port))
+        done = records[-1]
+        assert done["done"] and done["count"] == 3 and done["errors"] == 0
+        assert sorted(r["index"] for r in records[:-1]) == [0, 1, 2]
+        # duplicate indexes carry byte-identical payloads
+        by_index = {r["index"]: r for r in records[:-1]}
+        assert by_index[0]["payload_digest"] == by_index[2]["payload_digest"]
+        assert by_index[0]["digest"] == specs[0].digest
+
+    def test_two_clients_same_batch_execute_once(self, live_service):
+        """The acceptance scenario: two concurrent clients, one 16-spec
+        batch each, identical specs — exactly 16 ledger ``run_started``
+        events and byte-identical payload digests on both sides."""
+        from repro.obs.ledger import read_ledger
+
+        _service, port, ledger_path = live_service
+        specs = [spec_n(n) for n in range(16)]
+        results = {}
+
+        def client(name):
+            results[name] = submit_batch(specs, port=port)
+
+        threads = [threading.Thread(target=client, args=(n,))
+                   for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert json.dumps(results["a"], sort_keys=True) == \
+            json.dumps(results["b"], sort_keys=True)
+        assert [payload_digest(p) for p in results["a"]] == \
+            [payload_digest(p) for p in results["b"]]
+        events = read_ledger(ledger_path)
+        started = [e for e in events if e["event"] == "run_started"]
+        assert len(started) == 16
+        assert len({e["digest"] for e in started}) == 16
+
+    def test_submitting_errors_reported_not_fatal(self, live_service):
+        _service, port, _ledger = live_service
+        bad = RunSpec(kind="microbench", target="no_such_bench",
+                      network="infiniband")
+        records = list(iter_batch([bad, spec_n(0)], port=port))
+        done = records[-1]
+        assert done["count"] == 2 and done["errors"] == 1
+        by_index = {r["index"]: r for r in records[:-1]}
+        assert by_index[0]["error"] is True
+        assert "error" in by_index[0]["payload"]
+        assert by_index[1]["error"] is False
+
+    def test_bad_requests_rejected(self, live_service):
+        _service, port, _ledger = live_service
+        with pytest.raises(ServiceError, match="404"):
+            get_json("/nope", port=port)
+        with pytest.raises(ServiceError, match="HTTP 400"):
+            list(iter_batch([{"kind": "bogus-kind", "target": "x"}],
+                            port=port))
+
+
+# ----------------------------------------------------------------------
+# the warm-tier latency bar (acceptance criterion)
+# ----------------------------------------------------------------------
+class TestWarmLatency:
+    def test_warm_64_spec_batch_p50_under_1ms(self, tmp_path):
+        specs = [spec_n(n) for n in range(64)]
+        seed = ResultCache(disk_dir=tmp_path, backend="sqlite")
+        for n, spec in enumerate(specs):
+            seed.store(spec, {"points": [[4, float(n)]]})
+        seed.close()
+
+        warm = ResultCache(disk_dir=tmp_path, backend="sqlite")
+        for spec in specs:
+            assert warm.lookup(spec) is not None
+        assert warm.stats.disk_hits == 64
+        p50_us = warm.stats.percentile_us(0.50)
+        assert p50_us < 1000.0, f"warm lookup p50 {p50_us:.0f}us >= 1ms"
+        warm.close()
